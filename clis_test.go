@@ -1,0 +1,77 @@
+package pmsf_test
+
+// End-to-end test of the command-line workflow:
+// graphgen → msf (compute + save forest) → msf-verify (independent check).
+// Skipped in -short mode (builds and runs the binaries).
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(name, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bin := func(name string) string { return filepath.Join(dir, name) }
+
+	for _, tool := range []string{"graphgen", "msf", "msf-verify", "msf-bench"} {
+		run(t, "go", "build", "-o", bin(tool), "./cmd/"+tool)
+	}
+
+	graphPath := filepath.Join(dir, "g.pmsf")
+	forestPath := filepath.Join(dir, "forest.txt")
+
+	run(t, bin("graphgen"), "-family", "random", "-n", "3000", "-m", "12000",
+		"-seed", "7", "-o", graphPath)
+
+	out := run(t, bin("msf"), "-algo", "Bor-FAL", "-p", "4", "-stats",
+		"-o", forestPath, graphPath)
+	if !strings.Contains(out, "forest:") || !strings.Contains(out, "iterations") {
+		t.Fatalf("msf output missing sections:\n%s", out)
+	}
+
+	out = run(t, bin("msf-verify"), graphPath, forestPath)
+	if !strings.Contains(out, "OK:") {
+		t.Fatalf("msf-verify did not confirm:\n%s", out)
+	}
+
+	// Cross-format: DIMACS round trip through the tools.
+	grPath := filepath.Join(dir, "g.gr")
+	run(t, bin("graphgen"), "-family", "geometric", "-n", "1500", "-k", "5",
+		"-format", "dimacs", "-o", grPath)
+	out = run(t, bin("msf"), "-algo", "mst-bc", "-format", "dimacs", "-verify", grPath)
+	if !strings.Contains(out, "verify:     OK") {
+		t.Fatalf("dimacs pipeline failed:\n%s", out)
+	}
+
+	// The harness runs end to end at tiny scale and writes table files.
+	tableDir := filepath.Join(dir, "tables")
+	run(t, bin("msf-bench"), "-exp", "table1", "-scale", "tiny", "-o", tableDir)
+	matches, err := filepath.Glob(filepath.Join(tableDir, "table1.*.txt"))
+	if err != nil || len(matches) != 2 {
+		t.Fatalf("expected 2 table files, got %v (%v)", matches, err)
+	}
+
+	// A corrupted forest must be rejected with a non-zero exit.
+	badForest := filepath.Join(dir, "bad.txt")
+	run(t, "cp", forestPath, badForest)
+	run(t, "sed", "-i", "2s/^[0-9]*$/0/", badForest)
+	cmd := exec.Command(bin("msf-verify"), graphPath, badForest)
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("tampered forest accepted:\n%s", out)
+	}
+}

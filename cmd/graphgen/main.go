@@ -1,0 +1,126 @@
+// Command graphgen generates the paper's input graph families and writes
+// them to a file in the library's binary format (or text with -text).
+//
+// Usage:
+//
+//	graphgen -family random -n 1000000 -m 6000000 -o g1.pmsf
+//	graphgen -family mesh2d -n 1000000 -o mesh.pmsf
+//	graphgen -family geometric -n 1000000 -k 6 -o geo.pmsf
+//	graphgen -family str0 -n 1000000 -o str0.pmsf
+//
+// Families: random, mesh2d, 2d60, 3d40, geometric, str0, str1, str2, str3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pmsf/internal/gen"
+	"pmsf/internal/graph"
+)
+
+func main() {
+	family := flag.String("family", "random", "graph family")
+	n := flag.Int("n", 100000, "vertex count (meshes round to the nearest grid)")
+	m := flag.Int("m", 0, "edge count (random family; default 6n)")
+	k := flag.Int("k", 6, "degree (geometric family)")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	formatName := flag.String("format", "binary", "output format: binary, text, dimacs or metis")
+	weightsName := flag.String("weights", "", "re-draw edge weights: uniform, exponential, small-ints or structured (default: the family's native weights)")
+	flag.Parse()
+
+	g, err := build(*family, *n, *m, *k, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *weightsName != "" {
+		dist, err := parseWeights(*weightsName)
+		if err != nil {
+			fatal(err)
+		}
+		g = gen.Reweight(g, dist, *seed+1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	format, err := graph.ParseFormat(*formatName)
+	if err != nil {
+		fatal(err)
+	}
+	if err := format.Write(w, g); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "graphgen: %s n=%d m=%d\n", *family, g.N, len(g.Edges))
+}
+
+func build(family string, n, m, k int, seed uint64) (*graph.EdgeList, error) {
+	switch family {
+	case "random":
+		if m == 0 {
+			m = 6 * n
+		}
+		return gen.Random(n, m, seed), nil
+	case "mesh2d":
+		side := isqrt(n)
+		return gen.Mesh2D(side, side, seed), nil
+	case "2d60":
+		side := isqrt(n)
+		return gen.Mesh2D60(side, side, seed), nil
+	case "3d40":
+		return gen.Mesh3D40(icbrt(n), seed), nil
+	case "geometric":
+		return gen.Geometric(n, k, seed), nil
+	case "str0":
+		return gen.Str0(n, seed), nil
+	case "str1":
+		return gen.Str1(n, seed), nil
+	case "str2":
+		return gen.Str2(n, seed), nil
+	case "str3":
+		return gen.Str3(n, seed), nil
+	}
+	return nil, fmt.Errorf("unknown family %q", family)
+}
+
+func parseWeights(name string) (gen.WeightDist, error) {
+	for _, d := range gen.WeightDists() {
+		if d.String() == name {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown weight distribution %q", name)
+}
+
+func isqrt(n int) int {
+	r := 1
+	for r*r < n {
+		r++
+	}
+	return r
+}
+
+func icbrt(n int) int {
+	r := 1
+	for r*r*r < n {
+		r++
+	}
+	return r
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"testing"
+
+	"pmsf/internal/graph"
+)
+
+func TestBuildAllFamilies(t *testing.T) {
+	families := []string{"random", "mesh2d", "2d60", "3d40", "geometric",
+		"str0", "str1", "str2", "str3"}
+	for _, fam := range families {
+		g, err := build(fam, 500, 0, 4, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if g.N == 0 {
+			t.Fatalf("%s: empty graph", fam)
+		}
+	}
+}
+
+func TestBuildRandomDefaultsM(t *testing.T) {
+	g, err := build("random", 100, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Edges) != 600 {
+		t.Fatalf("default m = %d, want 6n", len(g.Edges))
+	}
+	g, err = build("random", 100, 250, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Edges) != 250 {
+		t.Fatalf("explicit m = %d", len(g.Edges))
+	}
+}
+
+func TestBuildUnknownFamily(t *testing.T) {
+	if _, err := build("nope", 10, 0, 0, 1); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestBuildMeshShapes(t *testing.T) {
+	g, err := build("mesh2d", 100, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 100 { // 10x10
+		t.Fatalf("mesh2d n = %d", g.N)
+	}
+	g, err = build("3d40", 1000, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 1000 { // 10^3
+		t.Fatalf("3d40 n = %d", g.N)
+	}
+}
+
+func TestIsqrtIcbrt(t *testing.T) {
+	if isqrt(100) != 10 || isqrt(101) != 11 || isqrt(1) != 1 {
+		t.Fatal("isqrt wrong")
+	}
+	if icbrt(1000) != 10 || icbrt(1001) != 11 || icbrt(1) != 1 {
+		t.Fatal("icbrt wrong")
+	}
+}
+
+var _ = graph.EdgeList{} // keep the import for the helpers' signatures
+
+func TestParseWeights(t *testing.T) {
+	d, err := parseWeights("exponential")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.String() != "exponential" {
+		t.Fatalf("parsed %v", d)
+	}
+	if _, err := parseWeights("gamma"); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+}

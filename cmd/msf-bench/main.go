@@ -1,0 +1,123 @@
+// Command msf-bench regenerates the paper's evaluation artifacts: Table 1
+// and Figures 2-6, plus the Section 3 cost-model comparison.
+//
+// Usage:
+//
+//	msf-bench [-exp all|table1|fig2|fig3|fig4|fig5|fig6|model]
+//	          [-scale small|medium|paper] [-seed N] [-p 1,2,4,8] [-csv]
+//
+// The paper's inputs are 1M-vertex graphs (-scale paper); the default
+// small scale runs every experiment in seconds. Wall-clock parallel
+// speedups require as many hardware cores as the largest -p entry.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"pmsf/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (all, "+strings.Join(bench.ExperimentIDs(), ", ")+")")
+	scaleFlag := flag.String("scale", "small", "input scale: small, medium or paper")
+	seed := flag.Uint64("seed", 42, "random seed for generators and algorithms")
+	workers := flag.String("p", "1,2,4,8", "comma-separated worker counts for the parallel sweeps")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	jsonFlag := flag.Bool("json", false, "emit JSON instead of aligned text")
+	outDir := flag.String("o", "", "also write each table to <dir>/<table id>.{txt,csv}")
+	flag.Parse()
+
+	scale, err := bench.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	ps, err := parseWorkers(*workers)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := bench.Config{Scale: scale, Seed: *seed, Workers: ps}
+
+	ids := bench.ExperimentIDs()
+	if *exp != "all" {
+		if _, ok := bench.Experiments()[*exp]; !ok {
+			fatal(fmt.Errorf("unknown experiment %q (want all, %s)", *exp, strings.Join(ids, ", ")))
+		}
+		ids = []string{*exp}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	for _, id := range ids {
+		for _, table := range bench.Experiments()[id](cfg) {
+			var err error
+			switch {
+			case *jsonFlag:
+				err = table.WriteJSON(os.Stdout)
+			case *csv:
+				err = table.WriteCSV(os.Stdout)
+			default:
+				err = table.WriteText(os.Stdout)
+			}
+			if err != nil {
+				fatal(err)
+			}
+			if *outDir != "" {
+				if err := saveTable(*outDir, table, *csv); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// saveTable writes the table to <dir>/<id>.txt or .csv.
+func saveTable(dir string, table *bench.Table, csv bool) error {
+	ext := ".txt"
+	if csv {
+		ext = ".csv"
+	}
+	f, err := os.Create(filepath.Join(dir, table.ID+ext))
+	if err != nil {
+		return err
+	}
+	if csv {
+		err = table.WriteCSV(f)
+	} else {
+		err = table.WriteText(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("invalid worker count %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no worker counts given")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "msf-bench:", err)
+	os.Exit(1)
+}

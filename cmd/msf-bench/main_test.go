@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestParseWorkers(t *testing.T) {
+	got, err := parseWorkers("1,2, 8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 8 {
+		t.Fatalf("parsed %v", got)
+	}
+}
+
+func TestParseWorkersTrailingComma(t *testing.T) {
+	got, err := parseWorkers("4,")
+	if err != nil || len(got) != 1 || got[0] != 4 {
+		t.Fatalf("parsed %v, %v", got, err)
+	}
+}
+
+func TestParseWorkersErrors(t *testing.T) {
+	for _, in := range []string{"", "x", "0", "-1", "1,x"} {
+		if _, err := parseWorkers(in); err == nil {
+			t.Errorf("%q accepted", in)
+		}
+	}
+}

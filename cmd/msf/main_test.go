@@ -1,0 +1,22 @@
+package main
+
+import (
+	"testing"
+
+	"pmsf"
+)
+
+// printStats must handle both stats families and empty stats without
+// panicking (output goes to stdout; correctness of the numbers is tested
+// at the library level).
+func TestPrintStats(t *testing.T) {
+	g := pmsf.RandomGraph(200, 800, 1)
+	for _, algo := range []pmsf.Algorithm{pmsf.BorEL, pmsf.MSTBC, pmsf.SeqPrim} {
+		_, stats, err := pmsf.MinimumSpanningForest(g, algo, pmsf.Options{CollectStats: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		printStats(stats)
+	}
+	printStats(&pmsf.Stats{})
+}

@@ -1,0 +1,38 @@
+package pmsf_test
+
+import (
+	"testing"
+
+	"pmsf"
+)
+
+func TestConnectedComponents(t *testing.T) {
+	g := pmsf.RandomGraph(2000, 1200, 3) // deliberately disconnected
+	labels, k, err := pmsf.ConnectedComponents(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check against the forest's component count.
+	f, _, err := pmsf.MinimumSpanningForest(g, pmsf.SeqKruskal, pmsf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != f.Components {
+		t.Fatalf("components = %d, MSF says %d", k, f.Components)
+	}
+	for _, e := range g.Edges {
+		if labels[e.U] != labels[e.V] {
+			t.Fatalf("edge endpoints in different components")
+		}
+	}
+}
+
+func TestConnectedComponentsValidation(t *testing.T) {
+	if _, _, err := pmsf.ConnectedComponents(nil, 1); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	bad := pmsf.NewGraph(1, []pmsf.Edge{{U: 0, V: 5}})
+	if _, _, err := pmsf.ConnectedComponents(bad, 1); err == nil {
+		t.Fatal("invalid graph accepted")
+	}
+}

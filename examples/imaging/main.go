@@ -1,0 +1,149 @@
+// Imaging: MSF-guided phase unwrapping on a pixel mesh — the medical-
+// imaging application the paper cites (An, Xiang & Chavez, IEEE Trans.
+// Med. Imaging 2000): unwrap a wrapped phase image by processing pixels
+// along a minimum spanning tree of the pixel grid, where edge weights are
+// phase-gradient magnitudes, so unwrapping crosses reliable (smooth)
+// boundaries first and noisy ones last.
+//
+// The example synthesizes a smooth phase surface with additive noise,
+// wraps it to (-π, π], builds the 4-connected pixel mesh weighted by
+// wrapped phase differences, computes its MST in parallel, and unwraps by
+// propagating along tree edges. It reports the reconstruction error
+// against naive row-major unwrapping.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"pmsf"
+	"pmsf/internal/rng"
+)
+
+const side = 256 // image is side×side pixels
+
+func main() {
+	n := side * side
+	truth := make([]float64, n) // the smooth surface we try to recover
+	wrapped := make([]float64, n)
+	r := rng.New(11)
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			fx, fy := float64(x)/side, float64(y)/side
+			v := 14*math.Sin(2.2*fx+0.5) + 11*math.Cos(3.1*fy) + 6*fx*fy
+			v += 0.08 * (r.Float64() - 0.5) // background sensor noise
+			if r.Float64() < 0.02 {
+				// Heavy-tailed speckle: corrupted pixels whose gradients
+				// look like wraps. Row-major unwrapping drags the error
+				// across the rest of the row; the MST routes around them.
+				v += 2 * math.Pi * (r.Float64() - 0.5)
+			}
+			truth[y*side+x] = v
+			wrapped[y*side+x] = wrap(v)
+		}
+	}
+
+	// Pixel mesh: 4-connectivity, weight = |wrapped gradient|. Small
+	// weights mean the true gradient almost surely did not wrap.
+	var edges []pmsf.Edge
+	at := func(x, y int) int32 { return int32(y*side + x) }
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			if x+1 < side {
+				w := math.Abs(wrap(wrapped[at(x+1, y)] - wrapped[at(x, y)]))
+				edges = append(edges, pmsf.Edge{U: at(x, y), V: at(x+1, y), W: w})
+			}
+			if y+1 < side {
+				w := math.Abs(wrap(wrapped[at(x, y+1)] - wrapped[at(x, y)]))
+				edges = append(edges, pmsf.Edge{U: at(x, y), V: at(x, y+1), W: w})
+			}
+		}
+	}
+	g := pmsf.NewGraph(n, edges)
+
+	forest, _, err := pmsf.MinimumSpanningForest(g, pmsf.BorALM, pmsf.Options{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pixel mesh: n=%d m=%d, MST edges=%d, components=%d\n",
+		n, len(edges), forest.Size(), forest.Components)
+
+	// Unwrap along the tree: BFS from pixel 0, each step adds the wrapped
+	// difference (which, on smooth edges, equals the true difference).
+	unwrapped := unwrapAlongTree(g, forest, wrapped)
+	naive := unwrapRowMajor(wrapped)
+
+	fmt.Printf("mean |error| via MST unwrap:      %.4f rad\n", meanAbsError(unwrapped, truth))
+	fmt.Printf("mean |error| via row-major unwrap: %.4f rad\n", meanAbsError(naive, truth))
+}
+
+func wrap(v float64) float64 {
+	for v > math.Pi {
+		v -= 2 * math.Pi
+	}
+	for v <= -math.Pi {
+		v += 2 * math.Pi
+	}
+	return v
+}
+
+func unwrapAlongTree(g *pmsf.Graph, forest *pmsf.Forest, wrapped []float64) []float64 {
+	n := g.N
+	adj := make([][]int32, n) // neighbor pixel per tree edge
+	for _, id := range forest.EdgeIDs {
+		e := g.Edges[id]
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	out := make([]float64, n)
+	seen := make([]bool, n)
+	for root := 0; root < n; root++ {
+		if seen[root] {
+			continue
+		}
+		out[root] = wrapped[root]
+		seen[root] = true
+		queue := []int32{int32(root)}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				out[v] = out[u] + wrap(wrapped[v]-wrapped[u])
+				queue = append(queue, v)
+			}
+		}
+	}
+	return out
+}
+
+func unwrapRowMajor(wrapped []float64) []float64 {
+	out := make([]float64, len(wrapped))
+	out[0] = wrapped[0]
+	for i := 1; i < len(wrapped); i++ {
+		prev := i - 1
+		if i%side == 0 {
+			prev = i - side // first pixel of a row chains to the row above
+		}
+		out[i] = out[prev] + wrap(wrapped[i]-wrapped[prev])
+	}
+	return out
+}
+
+func meanAbsError(got, want []float64) float64 {
+	// Phase is recovered up to a global constant; remove the mean offset.
+	var offset float64
+	for i := range got {
+		offset += got[i] - want[i]
+	}
+	offset /= float64(len(got))
+	var sum float64
+	for i := range got {
+		sum += math.Abs(got[i] - want[i] - offset)
+	}
+	return sum / float64(len(got))
+}

@@ -1,0 +1,55 @@
+// Netdesign: minimum-cost backbone for a wireless sensor network — one of
+// the paper's motivating applications (coverage and routing in ad-hoc
+// sensor networks).
+//
+// Sensors are placed uniformly at random in the unit square; each sensor
+// can talk to its k nearest neighbors, and link cost is transmission
+// distance. The minimum spanning forest of this geometric graph is the
+// cheapest wiring that keeps every reachable sensor connected; per-
+// component statistics show how coverage degrades when the radio degree
+// k shrinks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmsf"
+)
+
+func main() {
+	const sensors = 30_000
+
+	fmt.Println("wireless backbone cost vs radio degree k")
+	fmt.Printf("%-4s %-10s %-12s %-14s %-12s\n", "k", "links", "components", "backbone cost", "avg link")
+	for _, k := range []int{2, 3, 4, 6, 8} {
+		g := pmsf.GeometricGraph(sensors, k, 7)
+		forest, _, err := pmsf.MinimumSpanningForest(g, pmsf.BorFAL, pmsf.Options{Workers: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		avg := 0.0
+		if forest.Size() > 0 {
+			avg = forest.Weight / float64(forest.Size())
+		}
+		fmt.Printf("%-4d %-10d %-12d %-14.4f %-12.6f\n",
+			k, len(g.Edges), forest.Components, forest.Weight, avg)
+	}
+
+	// With a healthy degree the network is (almost) fully connected; the
+	// backbone picks the short links: compare the mean MSF link length to
+	// the mean candidate link length.
+	g := pmsf.GeometricGraph(sensors, 6, 7)
+	forest, _, err := pmsf.MinimumSpanningForest(g, pmsf.MSTBC, pmsf.Options{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var candidate float64
+	for _, e := range g.Edges {
+		candidate += e.W
+	}
+	fmt.Printf("\nk=6: mean candidate link %.6f, mean backbone link %.6f (%.1f%% shorter)\n",
+		candidate/float64(len(g.Edges)),
+		forest.Weight/float64(forest.Size()),
+		100*(1-forest.Weight/float64(forest.Size())/(candidate/float64(len(g.Edges)))))
+}

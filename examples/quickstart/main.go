@@ -1,0 +1,46 @@
+// Quickstart: build a graph, compute its minimum spanning forest with
+// every algorithm in the library, and verify the results agree.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmsf"
+)
+
+func main() {
+	// A random sparse graph: 50,000 vertices, 300,000 edges, weights
+	// uniform in [0,1). Generators are deterministic in the seed.
+	g := pmsf.RandomGraph(50_000, 300_000, 42)
+	fmt.Printf("graph: n=%d m=%d\n\n", g.N, len(g.Edges))
+
+	// Every algorithm computes the same forest weight (the MSF is unique
+	// for distinct weights).
+	for _, algo := range pmsf.Algorithms() {
+		forest, _, err := pmsf.MinimumSpanningForest(g, algo, pmsf.Options{
+			Workers: 4, // parallel algorithms only; ignored by Prim etc.
+			Seed:    1,
+		})
+		if err != nil {
+			log.Fatalf("%v: %v", algo, err)
+		}
+		fmt.Printf("%-9s weight=%.4f edges=%d components=%d\n",
+			algo, forest.Weight, forest.Size(), forest.Components)
+	}
+
+	// Forests carry the indices of the selected input edges, so the
+	// actual edges are easy to materialize.
+	forest, _, err := pmsf.MinimumSpanningForest(g, pmsf.BorFAL, pmsf.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	edges := forest.Edges(g)
+	fmt.Printf("\nfirst three MSF edges: %v %v %v\n", edges[0], edges[1], edges[2])
+
+	// Verify checks the result against an independent reference.
+	if err := pmsf.Verify(g, forest); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verified: result is a minimum spanning forest")
+}

@@ -1,0 +1,46 @@
+package pmsf_test
+
+// Every example program must build and run to completion. The examples
+// are real programs (not Example functions), so they are executed via
+// `go run`; skipped in -short mode.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("only %d examples", len(entries))
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", name))
+			cmd.Env = os.Environ()
+			start := time.Now()
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%v\noutput:\n%s", err, out)
+			}
+			if strings.TrimSpace(string(out)) == "" {
+				t.Fatal("example produced no output")
+			}
+			t.Logf("%s ran in %v, %d bytes of output", name, time.Since(start), len(out))
+		})
+	}
+}

@@ -1,0 +1,187 @@
+package pmsf_test
+
+// Exhaustive small-case testing: EVERY subgraph of K4 and K5 (all edge
+// subsets), under several weight patterns, through every algorithm,
+// validated by brute force. Property-based tests sample the input space;
+// this covers it completely at small n, where most contraction /
+// mutual-pair / isolated-vertex corner cases live.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"pmsf"
+)
+
+// bruteMSF computes the minimum spanning forest weight by trying every
+// edge subset (2^m) and keeping the cheapest spanning acyclic one.
+func bruteMSF(g *pmsf.Graph) (weight float64, edges int, components int) {
+	n := g.N
+	m := len(g.Edges)
+	bestWeight := math.Inf(1)
+	bestEdges := -1
+	// Component count of the full graph.
+	components = countComponents(g, (1<<m)-1)
+	wantEdges := n - components
+	for mask := 0; mask < 1<<m; mask++ {
+		if popcount(mask) != wantEdges {
+			continue
+		}
+		// Acyclic + spans: with exactly n-c edges, spanning ⇔ acyclic ⇔
+		// the subset has c components.
+		if countComponents(g, mask) != components {
+			continue
+		}
+		var w float64
+		ok := true
+		for i := 0; i < m; i++ {
+			if mask&(1<<i) != 0 {
+				e := g.Edges[i]
+				if e.U == e.V {
+					ok = false
+					break
+				}
+				w += e.W
+			}
+		}
+		if ok && w < bestWeight {
+			bestWeight = w
+			bestEdges = wantEdges
+		}
+	}
+	if bestEdges < 0 { // no edges needed (all isolated)
+		return 0, 0, components
+	}
+	return bestWeight, bestEdges, components
+}
+
+func popcount(x int) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+func countComponents(g *pmsf.Graph, mask int) int {
+	parent := make([]int, g.N)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	c := g.N
+	for i, e := range g.Edges {
+		if mask&(1<<i) == 0 || e.U == e.V {
+			continue
+		}
+		ru, rv := find(int(e.U)), find(int(e.V))
+		if ru != rv {
+			parent[ru] = rv
+			c--
+		}
+	}
+	return c
+}
+
+// completeGraphEdges returns the edge set of K_n.
+func completeGraphEdges(n int) [][2]int32 {
+	var out [][2]int32
+	for u := int32(0); u < int32(n); u++ {
+		for v := u + 1; v < int32(n); v++ {
+			out = append(out, [2]int32{u, v})
+		}
+	}
+	return out
+}
+
+func TestExhaustiveSmallGraphs(t *testing.T) {
+	weightPatterns := map[string]func(i int) float64{
+		"distinct":   func(i int) float64 { return float64((i*7)%13) + 0.5 },
+		"heavy-ties": func(i int) float64 { return float64(i % 2) },
+	}
+	sizes := []int{4, 5}
+	if testing.Short() {
+		sizes = []int{4}
+	}
+	for _, n := range sizes {
+		all := completeGraphEdges(n)
+		m := len(all)
+		for wname, wf := range weightPatterns {
+			for mask := 0; mask < 1<<m; mask++ {
+				var edges []pmsf.Edge
+				for i := 0; i < m; i++ {
+					if mask&(1<<i) != 0 {
+						edges = append(edges, pmsf.Edge{
+							U: all[i][0], V: all[i][1], W: wf(i),
+						})
+					}
+				}
+				g := pmsf.NewGraph(n, edges)
+				wantW, wantE, wantC := bruteMSF(g)
+				for _, algo := range pmsf.Algorithms() {
+					f, _, err := pmsf.MinimumSpanningForest(g, algo, pmsf.Options{
+						Workers: 2, Seed: uint64(mask),
+					})
+					if err != nil {
+						t.Fatalf("n=%d %s mask=%b %v: %v", n, wname, mask, algo, err)
+					}
+					if f.Size() != wantE || f.Components != wantC {
+						t.Fatalf("n=%d %s mask=%b %v: got (%d edges, %d comps), want (%d, %d)",
+							n, wname, mask, algo, f.Size(), f.Components, wantE, wantC)
+					}
+					if d := f.Weight - wantW; d > 1e-9 || d < -1e-9 {
+						t.Fatalf("n=%d %s mask=%b %v: weight %g, brute force %g",
+							n, wname, mask, algo, f.Weight, wantW)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExhaustiveWithSelfLoopsAndParallels sweeps all multigraph
+// decorations of a fixed triangle: up to one self-loop per vertex and a
+// duplicate of each edge.
+func TestExhaustiveWithSelfLoopsAndParallels(t *testing.T) {
+	base := []pmsf.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 0, V: 2, W: 3},
+	}
+	extras := []pmsf.Edge{
+		{U: 0, V: 0, W: 0.1}, {U: 1, V: 1, W: 0.2}, {U: 2, V: 2, W: 0.3},
+		{U: 0, V: 1, W: 0.9}, {U: 1, V: 2, W: 2.5}, {U: 0, V: 2, W: 2.9},
+	}
+	for mask := 0; mask < 1<<len(extras); mask++ {
+		edges := append([]pmsf.Edge(nil), base...)
+		for i, e := range extras {
+			if mask&(1<<i) != 0 {
+				edges = append(edges, e)
+			}
+		}
+		g := pmsf.NewGraph(3, edges)
+		wantW, _, _ := bruteMSF(g)
+		for _, algo := range pmsf.Algorithms() {
+			f, _, err := pmsf.MinimumSpanningForest(g, algo, pmsf.Options{Workers: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := f.Weight - wantW; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("mask=%b %v: weight %g, want %g", mask, algo, f.Weight, wantW)
+			}
+		}
+	}
+}
+
+func ExampleNewGraph() {
+	g := pmsf.NewGraph(2, []pmsf.Edge{{U: 0, V: 1, W: 2.5}})
+	forest, _, _ := pmsf.MinimumSpanningForest(g, pmsf.SeqPrim, pmsf.Options{})
+	fmt.Println(forest.Weight)
+	// Output: 2.5
+}

@@ -1,0 +1,77 @@
+package pmsf
+
+import (
+	"pmsf/internal/gen"
+)
+
+// The generator wrappers expose the paper's input families (Section 5.1)
+// through the public API. All are deterministic functions of their seed.
+
+// RandomGraph returns a uniform random graph with n vertices and m unique
+// undirected edges, weights uniform in [0, 1).
+func RandomGraph(n, m int, seed uint64) *Graph { return gen.Random(n, m, seed) }
+
+// MeshGraph returns a rows×cols regular 2D mesh with uniform random
+// weights.
+func MeshGraph(rows, cols int, seed uint64) *Graph { return gen.Mesh2D(rows, cols, seed) }
+
+// Mesh2D60Graph returns the paper's 2D60 input: a 2D mesh with each edge
+// present with probability 60%.
+func Mesh2D60Graph(rows, cols int, seed uint64) *Graph { return gen.Mesh2D60(rows, cols, seed) }
+
+// Mesh3D40Graph returns the paper's 3D40 input: a side³-vertex 3D mesh
+// with each edge present with probability 40%.
+func Mesh3D40Graph(side int, seed uint64) *Graph { return gen.Mesh3D40(side, seed) }
+
+// GeometricGraph returns a fixed-degree geometric graph: n uniform random
+// points in the unit square, each joined to its k nearest neighbors,
+// weighted by Euclidean distance.
+func GeometricGraph(n, k int, seed uint64) *Graph { return gen.Geometric(n, k, seed) }
+
+// Str0Graph returns the structured worst case str0 of Chung and Condon
+// (pairs at every level; Borůvka halves the vertex count each iteration).
+func Str0Graph(n int, seed uint64) *Graph { return gen.Str0(n, seed) }
+
+// Str1Graph returns the structured input str1 (chains of √n at every
+// level).
+func Str1Graph(n int, seed uint64) *Graph { return gen.Str1(n, seed) }
+
+// Str2Graph returns the structured input str2 (half a chain, half pairs
+// at every level).
+func Str2Graph(n int, seed uint64) *Graph { return gen.Str2(n, seed) }
+
+// Str3Graph returns the structured input str3 (complete binary trees of
+// √n at every level).
+func Str3Graph(n int, seed uint64) *Graph { return gen.Str3(n, seed) }
+
+// PermuteGraph relabels vertices with a uniform random permutation.
+func PermuteGraph(g *Graph, seed uint64) *Graph { return gen.Permute(g, seed) }
+
+// RandomGraphParallel is RandomGraph generated with `workers` goroutines
+// (0 = GOMAXPROCS). The output is deterministic in (n, m, seed) and
+// independent of the worker count, but differs from RandomGraph's output
+// for the same seed.
+func RandomGraphParallel(n, m int, seed uint64, workers int) *Graph {
+	return gen.RandomParallel(n, m, seed, workers)
+}
+
+// WeightDistribution names an edge-weight distribution for
+// ReweightGraph: uniform [0,1), exponential, small integers (heavy
+// ties), or structured (|u-v|/n, correlated with the numbering).
+type WeightDistribution = gen.WeightDist
+
+// Weight distributions.
+const (
+	WeightsUniform     = gen.WeightsUniform
+	WeightsExponential = gen.WeightsExponential
+	WeightsSmallInts   = gen.WeightsSmallInts
+	WeightsStructured  = gen.WeightsStructured
+)
+
+// ReweightGraph returns a copy of g with weights re-drawn from the
+// distribution; the structure is untouched. The paper's Fig. 3 notes
+// that the weight assignment, not just the density, decides the
+// sequential algorithm ranking — this makes that experiment one call.
+func ReweightGraph(g *Graph, d WeightDistribution, seed uint64) *Graph {
+	return gen.Reweight(g, d, seed)
+}

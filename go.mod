@@ -1,0 +1,3 @@
+module pmsf
+
+go 1.22

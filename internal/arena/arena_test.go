@@ -1,0 +1,156 @@
+package arena
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocBasics(t *testing.T) {
+	s := NewSlab[int](8)
+	a := s.Alloc(3)
+	b := s.Alloc(4)
+	if len(a) != 3 || len(b) != 4 {
+		t.Fatalf("lengths %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		a[i] = 100 + i
+	}
+	for i := range b {
+		b[i] = 200 + i
+	}
+	// Allocations from one page must not alias.
+	if a[2] != 102 || b[0] != 200 {
+		t.Fatal("allocations alias")
+	}
+}
+
+func TestAllocSpansPages(t *testing.T) {
+	s := NewSlab[byte](4)
+	var slices [][]byte
+	for i := 0; i < 10; i++ {
+		x := s.Alloc(3)
+		for j := range x {
+			x[j] = byte(i)
+		}
+		slices = append(slices, x)
+	}
+	for i, x := range slices {
+		for _, v := range x {
+			if v != byte(i) {
+				t.Fatalf("slice %d corrupted: %d", i, v)
+			}
+		}
+	}
+	if s.Pages() < 5 {
+		t.Fatalf("expected several pages, got %d", s.Pages())
+	}
+}
+
+func TestOversizedAlloc(t *testing.T) {
+	s := NewSlab[int](8)
+	small := s.Alloc(2)
+	big := s.Alloc(100)
+	small2 := s.Alloc(2)
+	if len(big) != 100 {
+		t.Fatalf("oversized len %d", len(big))
+	}
+	small[0], big[0], small2[0] = 1, 2, 3
+	if small[0] != 1 || big[0] != 2 || small2[0] != 3 {
+		t.Fatal("aliasing after oversized alloc")
+	}
+}
+
+func TestOversizedFirst(t *testing.T) {
+	s := NewSlab[int](4)
+	big := s.Alloc(50)
+	if len(big) != 50 {
+		t.Fatalf("len %d", len(big))
+	}
+	next := s.Alloc(2)
+	big[49], next[0] = 7, 8
+	if big[49] != 7 || next[0] != 8 {
+		t.Fatal("aliasing")
+	}
+}
+
+func TestResetReusesPages(t *testing.T) {
+	s := NewSlab[int](16)
+	for i := 0; i < 100; i++ {
+		s.Alloc(10)
+	}
+	pages := s.Pages()
+	s.Reset()
+	for i := 0; i < 100; i++ {
+		s.Alloc(10)
+	}
+	if s.Pages() != pages {
+		t.Fatalf("pages grew across Reset: %d -> %d", pages, s.Pages())
+	}
+}
+
+func TestResetEmptySlab(t *testing.T) {
+	s := NewSlab[int](16)
+	s.Reset() // must not panic
+	if x := s.Alloc(4); len(x) != 4 {
+		t.Fatal("alloc after empty reset broken")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewSlab[int](16)
+	s.Alloc(4)
+	s.Alloc(6)
+	allocs, elems := s.Stats()
+	if allocs != 2 || elems != 10 {
+		t.Fatalf("stats %d/%d, want 2/10", allocs, elems)
+	}
+	s.Reset()
+	s.Alloc(1)
+	allocs, elems = s.Stats()
+	if allocs != 3 || elems != 11 {
+		t.Fatalf("stats survive reset: %d/%d", allocs, elems)
+	}
+}
+
+func TestDefaultPageSize(t *testing.T) {
+	s := NewSlab[int](0)
+	if x := s.Alloc(10); len(x) != 10 {
+		t.Fatal("zero page size not defaulted")
+	}
+}
+
+// Property: a long random sequence of Alloc/Reset hands out slices of the
+// requested lengths, and writes through any live slice do not corrupt any
+// other live slice from the same epoch.
+func TestNoAliasingProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		s := NewSlab[int32](32)
+		var live [][]int32
+		for epoch := 0; epoch < 2; epoch++ {
+			live = live[:0]
+			for i, raw := range sizes {
+				n := int(raw%40) + 1
+				x := s.Alloc(n)
+				if len(x) != n {
+					return false
+				}
+				for j := range x {
+					x[j] = int32(i)
+				}
+				live = append(live, x)
+			}
+			for i, x := range live {
+				for _, v := range x {
+					if v != int32(i) {
+						return false
+					}
+				}
+			}
+			s.Reset()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

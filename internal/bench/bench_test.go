@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestParseScale(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Scale
+	}{{"tiny", Tiny}, {"small", Small}, {"", Small}, {"MEDIUM", Medium}, {"paper", Paper}} {
+		got, err := ParseScale(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseScale(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestScaleStringRoundTrip(t *testing.T) {
+	for _, s := range []Scale{Tiny, Small, Medium, Paper} {
+		got, err := ParseScale(s.String())
+		if err != nil || got != s {
+			t.Errorf("round trip of %v failed", s)
+		}
+	}
+}
+
+func TestBaseNOrdering(t *testing.T) {
+	if !(Tiny.BaseN() < Small.BaseN() && Small.BaseN() < Medium.BaseN() && Medium.BaseN() < Paper.BaseN()) {
+		t.Fatal("BaseN not increasing with scale")
+	}
+	if Paper.BaseN() != 1_000_000 {
+		t.Fatalf("paper scale BaseN = %d", Paper.BaseN())
+	}
+}
+
+func TestTableWriteText(t *testing.T) {
+	tb := &Table{
+		ID: "t", Title: "demo",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"x", "1"}, {"yyyyyyyy", "2"}},
+		Notes:  []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== t: demo ==", "long-header", "yyyyyyyy", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tb := &Table{
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"x,1", `say "hi"`}},
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,1\",\"say \"\"hi\"\"\"\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWorkloadsProduceValidGraphs(t *testing.T) {
+	all := append([]Workload{RandomWorkload(4)}, append(MeshWorkloads(), StructuredWorkloads()...)...)
+	for _, w := range all {
+		g := w.Make(Tiny, 1)
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		if g.N == 0 || len(g.Edges) == 0 {
+			t.Errorf("%s: degenerate graph n=%d m=%d", w.Name, g.N, len(g.Edges))
+		}
+	}
+}
+
+func TestBestSequentialTimesAllThree(t *testing.T) {
+	g := RandomWorkload(4).Make(Tiny, 1)
+	name, best, times := BestSequential(g)
+	if len(times) != 3 {
+		t.Fatalf("timed %d algorithms", len(times))
+	}
+	if times[name] != best {
+		t.Fatal("winner time inconsistent")
+	}
+	for _, d := range times {
+		if d < best {
+			t.Fatal("best is not minimal")
+		}
+	}
+}
+
+func cfg() Config { return Config{Scale: Tiny, Seed: 1, Workers: []int{1, 2}} }
+
+func TestTable1Shape(t *testing.T) {
+	tables := Table1(cfg())
+	if len(tables) != 2 {
+		t.Fatalf("%d tables, want 2 (G1, G2)", len(tables))
+	}
+	for i, tb := range tables {
+		minIters := 4 // G1 at Tiny scale (n=2000, m=12000)
+		if i == 1 {
+			minIters = 2 // G2 is 100x smaller
+		}
+		if len(tb.Rows) < minIters {
+			t.Fatalf("%s: only %d iterations", tb.ID, len(tb.Rows))
+		}
+		// 2m strictly decreases.
+		prev := int64(1) << 62
+		for _, row := range tb.Rows {
+			v, err := strconv.ParseInt(row[1], 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v >= prev {
+				t.Fatalf("%s: 2m not strictly decreasing (%d -> %d)", tb.ID, prev, v)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	tables := Fig2(cfg())
+	if len(tables) != 3 {
+		t.Fatalf("%d tables, want 3 densities", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) != 4 {
+			t.Fatalf("%s: %d rows, want 4 variants", tb.ID, len(tb.Rows))
+		}
+		names := []string{}
+		for _, r := range tb.Rows {
+			names = append(names, r[0])
+		}
+		want := "Bor-EL Bor-AL Bor-ALM Bor-FAL"
+		if strings.Join(names, " ") != want {
+			t.Fatalf("%s: rows %v", tb.ID, names)
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	tables := Fig3(cfg())
+	if len(tables) != 1 {
+		t.Fatal("fig3 must be one table")
+	}
+	tb := tables[0]
+	if len(tb.Rows) != 11 { // 3 random + 4 mesh + 4 structured
+		t.Fatalf("fig3 rows = %d, want 11", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		best := row[len(row)-1]
+		if best != "Prim" && best != "Kruskal" && best != "Boruvka" {
+			t.Fatalf("unknown best algorithm %q", best)
+		}
+	}
+}
+
+func TestSweepFigures(t *testing.T) {
+	for name, exp := range map[string]func(Config) []*Table{"fig4": Fig4, "fig5": Fig5, "fig6": Fig6} {
+		tables := exp(cfg())
+		if len(tables) != 4 {
+			t.Fatalf("%s: %d tables, want 4", name, len(tables))
+		}
+		for _, tb := range tables {
+			if len(tb.Rows) != 5 {
+				t.Fatalf("%s/%s: %d rows, want 5 parallel algorithms", name, tb.ID, len(tb.Rows))
+			}
+			// Header: algorithm, one column per p, speedup.
+			if len(tb.Header) != 2+len(cfg().workers()) {
+				t.Fatalf("%s/%s: header %v", name, tb.ID, tb.Header)
+			}
+		}
+	}
+}
+
+func TestModelExperiment(t *testing.T) {
+	tables := Model(cfg())
+	if len(tables) != 2 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	// Every predicted AL/EL ratio must be < 1 (the paper's claim).
+	for _, row := range tables[1].Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v >= 1 {
+			t.Fatalf("predicted ratio %g >= 1 at m/n=%s", v, row[0])
+		}
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	reg := Experiments()
+	for _, id := range ExperimentIDs() {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(reg) != len(ExperimentIDs()) {
+		t.Errorf("registry has %d entries, ids list %d", len(reg), len(ExperimentIDs()))
+	}
+}
+
+func TestTableWriteJSON(t *testing.T) {
+	tb := &Table{ID: "x", Title: "t", Header: []string{"a"}, Rows: [][]string{{"1"}}, Notes: []string{"n"}}
+	var buf bytes.Buffer
+	if err := tb.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ID     string     `json:"id"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.ID != "x" || len(decoded.Rows) != 1 || decoded.Notes[0] != "n" {
+		t.Fatalf("decoded %+v", decoded)
+	}
+}

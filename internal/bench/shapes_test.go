@@ -1,0 +1,97 @@
+package bench
+
+// The paper's qualitative claims, asserted as tests. Time-based shape
+// checks use generous factors so scheduler noise cannot flip them, and
+// run at Small scale where the effects are orders of magnitude; skipped
+// in -short mode.
+
+import (
+	"testing"
+
+	"pmsf/internal/boruvka"
+	"pmsf/internal/gen"
+)
+
+// Fig. 2's shape: compact-graph dominates Bor-EL and Bor-AL; Bor-EL's
+// compact-graph is slower than Bor-AL's; Bor-FAL's compact-graph is an
+// order of magnitude below both while its find-min grows beyond
+// Bor-AL's.
+func TestFig2Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-shape test")
+	}
+	n := Small.BaseN()
+	g := gen.Random(n, 6*n, 42)
+	_, el := boruvka.EL(g, boruvka.Options{Stats: true})
+	_, al := boruvka.AL(g, boruvka.Options{Stats: true})
+	_, fal := boruvka.FAL(g, boruvka.Options{Stats: true})
+
+	if el.Total.CompactGraph < 2*el.Total.FindMin {
+		t.Errorf("Bor-EL compact-graph (%v) does not dominate find-min (%v)",
+			el.Total.CompactGraph, el.Total.FindMin)
+	}
+	if al.Total.CompactGraph < 2*al.Total.FindMin {
+		t.Errorf("Bor-AL compact-graph (%v) does not dominate find-min (%v)",
+			al.Total.CompactGraph, al.Total.FindMin)
+	}
+	if el.Total.CompactGraph < al.Total.CompactGraph {
+		t.Errorf("Bor-EL compact (%v) faster than Bor-AL's (%v)",
+			el.Total.CompactGraph, al.Total.CompactGraph)
+	}
+	if 5*fal.Total.CompactGraph > el.Total.CompactGraph {
+		t.Errorf("Bor-FAL compact (%v) not ≥5x below Bor-EL's (%v)",
+			fal.Total.CompactGraph, el.Total.CompactGraph)
+	}
+	if fal.Total.FindMin < al.Total.FindMin {
+		t.Errorf("Bor-FAL find-min (%v) did not exceed Bor-AL's (%v): the filtering cost is missing",
+			fal.Total.FindMin, al.Total.FindMin)
+	}
+}
+
+// Table 1's shape: the density m/n rises for several iterations and then
+// collapses; the edge list decays slowly before the cliff.
+func TestTable1Claims(t *testing.T) {
+	n := Small.BaseN()
+	g := gen.Random(n, 6*n, 42)
+	_, stats := boruvka.EL(g, boruvka.Options{Stats: true})
+	if len(stats.Iters) < 4 {
+		t.Fatalf("only %d iterations", len(stats.Iters))
+	}
+	density := func(i int) float64 {
+		return float64(stats.Iters[i].ListSize) / 2 / float64(stats.Iters[i].N)
+	}
+	// Density strictly rises over the first three iterations...
+	if !(density(1) > density(0) && density(2) > density(1)) {
+		t.Errorf("density not rising: %.1f %.1f %.1f", density(0), density(1), density(2))
+	}
+	// ...and the final iteration is far below the peak.
+	peak := 0.0
+	for i := range stats.Iters {
+		if d := density(i); d > peak {
+			peak = d
+		}
+	}
+	if last := density(len(stats.Iters) - 1); last > peak/4 {
+		t.Errorf("density did not collapse: last %.1f vs peak %.1f", last, peak)
+	}
+	// First-iteration decay is slow (paper: 12.5%): below 25%.
+	dec := float64(stats.Iters[0].ListSize-stats.Iters[1].ListSize) / float64(stats.Iters[0].ListSize)
+	if dec > 0.25 {
+		t.Errorf("first-iteration decay %.2f, want slow (<0.25)", dec)
+	}
+}
+
+// The Section 2.2 profiling claim: the large majority of per-vertex
+// lists sorted after the first iteration are short (<= 100 entries).
+func TestProfileClaim(t *testing.T) {
+	n := Small.BaseN()
+	g := gen.Random(n, 6*n, 42)
+	hists := boruvka.ProfileListLengths(g, boruvka.Options{})
+	if len(hists) < 2 {
+		t.Fatal("too few iterations")
+	}
+	frac := boruvka.ShortListFraction(hists[1:], 100)
+	if frac < 0.70 {
+		t.Errorf("short-list fraction %.2f below the paper's ~0.80 claim band", frac)
+	}
+}

@@ -1,0 +1,361 @@
+package boruvka
+
+import (
+	"pmsf/internal/arena"
+	"pmsf/internal/cc"
+	"pmsf/internal/graph"
+	"pmsf/internal/par"
+	"pmsf/internal/sorts"
+)
+
+// AL computes the minimum spanning forest with the Bor-AL variant:
+// parallel Borůvka over adjacency arrays whose compact-graph step is a
+// two-level sort — a parallel group sort of the vertex array by
+// supervertex label, then concurrent sequential sorts of each vertex's
+// adjacency list — followed by a merge of each group's sorted lists.
+func AL(g *graph.EdgeList, opt Options) (*graph.Forest, *Stats) {
+	return runAL(g, opt, false, "Bor-AL")
+}
+
+// ALM computes the minimum spanning forest with the Bor-ALM variant: the
+// identical algorithm and data structures as Bor-AL, but all transient
+// memory (per-list sort scratch, iteration output buffers) comes from
+// private per-worker buffers that are reused across iterations instead of
+// fresh shared-heap allocations — the Go analogue of the paper's
+// per-thread memory segments replacing the contended system malloc.
+func ALM(g *graph.EdgeList, opt Options) (*graph.Forest, *Stats) {
+	return runAL(g, opt, true, "Bor-ALM")
+}
+
+// adjLess orders adjacency entries by (To, W, EID): target supervertex as
+// the key (the paper's per-list sort key), weight and edge id as
+// tie-breaks so the head of every target run is the minimum edge.
+func adjLess(a, b graph.AdjEntry) bool {
+	if a.To != b.To {
+		return a.To < b.To
+	}
+	if a.W != b.W {
+		return a.W < b.W
+	}
+	return a.EID < b.EID
+}
+
+// alState is the "loose CSR" working form: vertex v's adjacency list is
+// arcs[off[v] : off[v]+deg[v]]. Regions may be over-allocated so that a
+// merged group can be written in place of its bound without a second
+// compaction pass.
+type alState struct {
+	n    int
+	off  []int64
+	deg  []int32
+	arcs []graph.AdjEntry
+}
+
+func (s *alState) adj(v int32) []graph.AdjEntry {
+	o := s.off[v]
+	return s.arcs[o : o+int64(s.deg[v])]
+}
+
+func (s *alState) totalArcs(p int) int64 {
+	return par.ReduceInt64(p, s.n, func(_, lo, hi int) int64 {
+		var t int64
+		for v := lo; v < hi; v++ {
+			t += int64(s.deg[v])
+		}
+		return t
+	})
+}
+
+// alMem serves the variant-dependent memory policy. In heap mode every
+// request is a fresh allocation; in arena mode per-worker buffers and the
+// iteration output buffer are reused, and the per-iteration vertex
+// arrays (chosen-neighbor, selected-edge, degree) come from reusable
+// backing slices as well.
+type alMem struct {
+	arena   bool
+	sortBuf [][]graph.AdjEntry // per worker: merge-sort scratch
+	// concatSlabs serve the group-merge concat fallback from per-worker
+	// slab allocators (internal/arena): allocations within an iteration
+	// stack up in private pages and a Reset at the next compact-graph
+	// reuses them — the paper's per-thread memory segments.
+	concatSlabs []*arena.Slab[graph.AdjEntry]
+	spare       []graph.AdjEntry // ping-pong iteration output buffer
+	i32Bufs     [4][]int32       // reusable vertex-sized arrays
+	degSlot     int              // ping-pong slot (2 or 3) for the degree array
+}
+
+func newALMem(arenaMode bool, p int) *alMem {
+	m := &alMem{arena: arenaMode}
+	if arenaMode {
+		m.sortBuf = make([][]graph.AdjEntry, p)
+		m.concatSlabs = make([]*arena.Slab[graph.AdjEntry], p)
+		for w := range m.concatSlabs {
+			m.concatSlabs[w] = arena.NewSlab[graph.AdjEntry](1 << 14)
+		}
+	}
+	return m
+}
+
+// resetIteration recycles the per-worker slab pages for the next
+// compact-graph pass.
+func (m *alMem) resetIteration() {
+	for _, s := range m.concatSlabs {
+		s.Reset()
+	}
+}
+
+func (m *alMem) sortScratch(w, n int) []graph.AdjEntry {
+	if !m.arena {
+		return make([]graph.AdjEntry, n)
+	}
+	if cap(m.sortBuf[w]) < n {
+		m.sortBuf[w] = make([]graph.AdjEntry, n+n/2)
+	}
+	return m.sortBuf[w][:n]
+}
+
+func (m *alMem) concatScratch(w, n int) []graph.AdjEntry {
+	if !m.arena {
+		return make([]graph.AdjEntry, n)
+	}
+	return m.concatSlabs[w].Alloc(n)
+}
+
+// vertexInts returns a zeroed int32 slice of length n. In arena mode
+// slot selects one of the reusable backing arrays (callers use distinct
+// slots for arrays that are alive simultaneously); in heap mode every
+// call allocates.
+func (m *alMem) vertexInts(slot, n int) []int32 {
+	if !m.arena {
+		return make([]int32, n)
+	}
+	buf := m.i32Bufs[slot]
+	if cap(buf) < n {
+		buf = make([]int32, n+n/2)
+		m.i32Bufs[slot] = buf
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// output returns a buffer of n entries for the iteration's merged arcs
+// and retains old (the previous arcs array) for reuse.
+func (m *alMem) output(n int, old []graph.AdjEntry) []graph.AdjEntry {
+	if !m.arena {
+		return make([]graph.AdjEntry, n)
+	}
+	buf := m.spare
+	if cap(buf) < n {
+		buf = make([]graph.AdjEntry, n)
+	}
+	m.spare = old
+	return buf[:n]
+}
+
+func runAL(g *graph.EdgeList, opt Options, arenaMode bool, name string) (*graph.Forest, *Stats) {
+	p := opt.workers()
+	cutoff := opt.cutoff()
+	stats := &Stats{Algorithm: name, Workers: p}
+	sw := stopwatch{enabled: opt.Stats}
+	mem := newALMem(arenaMode, p)
+
+	adj := graph.BuildAdj(g)
+	st := &alState{n: adj.N, off: adj.Off, arcs: adj.Arcs}
+	st.deg = make([]int32, adj.N)
+	for v := 0; v < adj.N; v++ {
+		st.deg[v] = int32(adj.Off[v+1] - adj.Off[v])
+	}
+	// The initial CSR may contain parallel edges from the input; they are
+	// merged by the first compact-graph like in the paper.
+
+	var ids []int32
+	for {
+		total := st.totalArcs(p)
+		if total == 0 {
+			break
+		}
+		var it IterStats
+		it.N = st.n
+		it.ListSize = total
+
+		// Step 1: find-min over each adjacency list.
+		sw.begin()
+		parent := mem.vertexInts(0, st.n)
+		sel := mem.vertexInts(1, st.n)
+		par.ForDynamic(p, st.n, 512, func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				list := st.adj(int32(v))
+				if len(list) == 0 {
+					parent[v] = int32(v)
+					continue
+				}
+				best := 0
+				for i := 1; i < len(list); i++ {
+					if list[i].W < list[best].W ||
+						(list[i].W == list[best].W && list[i].EID < list[best].EID) {
+						best = i
+					}
+				}
+				parent[v] = list[best].To
+				sel[v] = list[best].EID
+			}
+		})
+		ids = harvest(p, parent, sel, ids)
+		sw.end(&it.Steps.FindMin)
+
+		// Step 2: connect-components.
+		sw.begin()
+		labels, k := cc.Resolve(p, parent)
+		sw.end(&it.Steps.ConnectComponents)
+
+		// Step 3: compact-graph (two-level sort + group merge).
+		sw.begin()
+		mem.resetIteration()
+		st = compactAL(p, cutoff, st, labels, k, mem)
+		sw.end(&it.Steps.CompactGraph)
+
+		if opt.Stats {
+			stats.Iters = append(stats.Iters, it)
+			stats.Total.Add(it.Steps)
+		}
+	}
+	return finish(g, ids, st.n), stats
+}
+
+// compactAL performs the Bor-AL compact-graph step: relabel arc targets,
+// group vertices by supervertex label (parallel counting sort), sort each
+// vertex's list (insertion sort below cutoff, bottom-up merge sort
+// above), and merge every group's sorted lists into the new supervertex's
+// list, dropping self-loops and keeping the minimum edge per target.
+func compactAL(p, cutoff int, st *alState, labels []int32, k int, mem *alMem) *alState {
+	// Relabel arc targets to new supervertex ids.
+	par.For(p, st.n, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			list := st.adj(int32(v))
+			for i := range list {
+				list[i].To = labels[list[i].To]
+			}
+		}
+	})
+
+	// Level-1 sort: group the vertex array by supervertex label.
+	order, gstarts := sorts.CountingGroup(p, labels, k)
+
+	// Level-2 sort: each vertex's list, concurrently.
+	par.ForDynamic(p, st.n, 256, func(w, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			list := st.adj(int32(v))
+			if len(list) < cutoff {
+				sorts.Insertion(list, adjLess)
+			} else {
+				sorts.MergeBottomUp(list, mem.sortScratch(w, len(list)), adjLess)
+			}
+		}
+	})
+
+	// Bound each group's output region by the sum of member degrees, then
+	// turn the sizes into region starts with an exclusive prefix sum.
+	newOff := make([]int64, k+1)
+	par.For(p, k, func(_, lo, hi int) {
+		for g := lo; g < hi; g++ {
+			var sum int64
+			for i := gstarts[g]; i < gstarts[g+1]; i++ {
+				sum += int64(st.deg[order[i]])
+			}
+			newOff[g] = sum
+		}
+	})
+	newOff[k] = par.ScanInt64(p, newOff[:k])
+
+	newArcs := mem.output(int(newOff[k]), st.arcs)
+	// The degree array must not alias the previous iteration's (still
+	// being read below), so arena mode ping-pongs between two slots.
+	degSlot := 2 + mem.degSlot
+	mem.degSlot = 1 - mem.degSlot
+	newDeg := mem.vertexInts(degSlot, k)
+
+	// Merge each group's sorted member lists.
+	par.ForDynamic(p, k, 64, func(w, lo, hi int) {
+		for g := lo; g < hi; g++ {
+			members := order[gstarts[g]:gstarts[g+1]]
+			dst := newArcs[newOff[g]:newOff[g+1]]
+			newDeg[g] = mergeGroup(st, members, int32(g), dst, w, mem)
+		}
+	})
+
+	return &alState{n: k, off: newOff[:k], deg: newDeg, arcs: newArcs}
+}
+
+// mergeGroup merges the sorted adjacency lists of the member vertices
+// into dst, skipping self-loops (To == self) and collapsing duplicate
+// targets to their first (minimum) entry. It returns the merged length.
+// Small groups use a direct k-way merge; large groups fall back to
+// concatenate-and-sort.
+func mergeGroup(st *alState, members []int32, self int32, dst []graph.AdjEntry, w int, mem *alMem) int32 {
+	const kwayLimit = 16
+	if len(members) == 1 {
+		// Isolated supervertex (no chosen edge): list must be empty.
+		return filterCopy(st.adj(members[0]), self, dst)
+	}
+	if len(members) > kwayLimit {
+		var total int
+		for _, v := range members {
+			total += int(st.deg[v])
+		}
+		buf := mem.concatScratch(w, total)
+		pos := 0
+		for _, v := range members {
+			pos += copy(buf[pos:], st.adj(v))
+		}
+		sorts.MergeBottomUp(buf, dst[:len(buf)], adjLess)
+		return filterCopy(buf, self, dst)
+	}
+	// K-way merge with linear head scan (groups are small).
+	lists := make([][]graph.AdjEntry, 0, len(members))
+	for _, v := range members {
+		if l := st.adj(v); len(l) > 0 {
+			lists = append(lists, l)
+		}
+	}
+	var out int32
+	lastTo := int32(-1)
+	for len(lists) > 0 {
+		best := 0
+		for i := 1; i < len(lists); i++ {
+			if adjLess(lists[i][0], lists[best][0]) {
+				best = i
+			}
+		}
+		e := lists[best][0]
+		lists[best] = lists[best][1:]
+		if len(lists[best]) == 0 {
+			lists[best] = lists[len(lists)-1]
+			lists = lists[:len(lists)-1]
+		}
+		if e.To != self && e.To != lastTo {
+			dst[out] = e
+			out++
+			lastTo = e.To
+		}
+	}
+	return out
+}
+
+// filterCopy copies src into dst dropping self-loops and duplicate
+// targets (src must be sorted by adjLess); returns the kept count.
+func filterCopy(src []graph.AdjEntry, self int32, dst []graph.AdjEntry) int32 {
+	var out int32
+	lastTo := int32(-1)
+	for _, e := range src {
+		if e.To == self || e.To == lastTo {
+			continue
+		}
+		dst[out] = e
+		out++
+		lastTo = e.To
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package boruvka
+
+import (
+	"pmsf/internal/cc"
+	"pmsf/internal/graph"
+	"pmsf/internal/par"
+	"pmsf/internal/sorts"
+)
+
+// wedgeLess orders working edges by (U, V, W, ID): the sample-sort key of
+// the paper's compact-graph step (supervertex of the first endpoint as
+// primary key, supervertex of the second as secondary, weight as
+// tertiary). The edge id is the deterministic tie-break.
+func wedgeLess(a, b graph.WEdge) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	if a.V != b.V {
+		return a.V < b.V
+	}
+	if a.W != b.W {
+		return a.W < b.W
+	}
+	return a.ID < b.ID
+}
+
+// EL computes the minimum spanning forest with the Bor-EL variant:
+// parallel Borůvka over an edge-list representation whose compact-graph
+// step is a single global parallel sample sort followed by a prefix-sum
+// merge of self-loops and duplicate edges.
+func EL(g *graph.EdgeList, opt Options) (*graph.Forest, *Stats) {
+	p := opt.workers()
+	stats := &Stats{Algorithm: "Bor-EL", Workers: p}
+	sw := stopwatch{enabled: opt.Stats}
+
+	edges := graph.DirectedWorkList(g)
+	n := g.N
+	// Initial compaction: sort and merge parallel edges, compute vertex
+	// segment starts. (Counted as setup, not as an iteration.)
+	edges, starts := CompactWorkListWith(opt.SortEngine, p, edges, n, opt.Seed)
+
+	var ids []int32
+	iter := 0
+	for len(edges) > 0 {
+		var it IterStats
+		it.N = n
+		it.ListSize = int64(len(edges))
+
+		// Step 1: find-min. Segments are contiguous after the sort, so
+		// each vertex scans its own run of the edge list.
+		sw.begin()
+		parent := make([]int32, n)
+		sel := make([]int32, n)
+		par.ForDynamic(p, n, 1024, func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				segLo, segHi := starts[v], starts[v+1]
+				if segLo == segHi {
+					parent[v] = int32(v)
+					continue
+				}
+				best := segLo
+				for i := segLo + 1; i < segHi; i++ {
+					if edges[i].W < edges[best].W ||
+						(edges[i].W == edges[best].W && edges[i].ID < edges[best].ID) {
+						best = i
+					}
+				}
+				parent[v] = edges[best].V
+				sel[v] = edges[best].ID
+			}
+		})
+		ids = harvest(p, parent, sel, ids)
+		sw.end(&it.Steps.FindMin)
+
+		// Step 2: connect-components by pointer jumping.
+		sw.begin()
+		labels, k := cc.Resolve(p, parent)
+		sw.end(&it.Steps.ConnectComponents)
+
+		// Step 3: compact-graph — relabel, global sample sort, merge.
+		sw.begin()
+		par.For(p, len(edges), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				edges[i].U = labels[edges[i].U]
+				edges[i].V = labels[edges[i].V]
+			}
+		})
+		n = k
+		edges, starts = CompactWorkListWith(opt.SortEngine, p, edges, n, opt.Seed+uint64(iter)+1)
+		sw.end(&it.Steps.CompactGraph)
+
+		if opt.Stats {
+			stats.Iters = append(stats.Iters, it)
+			stats.Total.Add(it.Steps)
+		}
+		iter++
+	}
+	return finish(g, ids, n), stats
+}
+
+// CompactWorkList sorts the directed working edge list by (U, V, W, ID), drops
+// self-loops, merges duplicate (U, V) runs down to their minimum-weight
+// representative, and computes the per-vertex segment starts (length
+// n+1). It returns the compacted list and the starts array.
+func CompactWorkList(p int, edges []graph.WEdge, n int, seed uint64) ([]graph.WEdge, []int64) {
+	return CompactWorkListWith(SortSampleSort, p, edges, n, seed)
+}
+
+// CompactWorkListWith is CompactWorkList with a selectable parallel sort
+// engine.
+func CompactWorkListWith(engine SortEngine, p int, edges []graph.WEdge, n int, seed uint64) ([]graph.WEdge, []int64) {
+	switch engine {
+	case SortParallelMerge:
+		sorts.ParallelMergeSort(p, edges, wedgeLess)
+	case SortRadix:
+		sorts.RadixSortWEdges(edges, make([]graph.WEdge, len(edges)))
+	default:
+		sorts.SampleSort(p, edges, wedgeLess, seed)
+	}
+
+	// Keep an edge iff it is not a self-loop and is the head of its
+	// (U, V) run: with the sort order above, the head is the minimum.
+	keepIdx := par.PackIndices(p, len(edges), func(i int) bool {
+		e := edges[i]
+		if e.U == e.V {
+			return false
+		}
+		if i == 0 {
+			return true
+		}
+		prev := edges[i-1]
+		return prev.U != e.U || prev.V != e.V
+	})
+	out := make([]graph.WEdge, len(keepIdx))
+	par.For(p, len(keepIdx), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = edges[keepIdx[i]]
+		}
+	})
+
+	// Segment starts: first occurrence of each U, then backward fill for
+	// vertices with no edges.
+	starts := make([]int64, n+1)
+	for i := range starts {
+		starts[i] = -1
+	}
+	starts[n] = int64(len(out))
+	par.For(p, len(out), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i == 0 || out[i-1].U != out[i].U {
+				starts[out[i].U] = int64(i)
+			}
+		}
+	})
+	for v := n - 1; v >= 0; v-- {
+		if starts[v] < 0 {
+			starts[v] = starts[v+1]
+		}
+	}
+	return out, starts
+}

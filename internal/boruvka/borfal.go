@@ -1,0 +1,138 @@
+package boruvka
+
+import (
+	"pmsf/internal/cc"
+	"pmsf/internal/graph"
+	"pmsf/internal/par"
+	"pmsf/internal/sorts"
+)
+
+// FAL computes the minimum spanning forest with the Bor-FAL variant:
+// parallel Borůvka over the flexible adjacency list. The underlying arc
+// arrays are never moved: compact-graph shrinks to a small parallel group
+// sort plus O(1) pointer appends per merged vertex and an O(n/p)-per-
+// worker lookup-table update, while find-min takes over the filtering of
+// self-loops and multi-edges through the lookup table. This trades a
+// (slightly) costlier find-min for a dramatically cheaper compact-graph —
+// the paper's key observation for sparse random graphs.
+func FAL(g *graph.EdgeList, opt Options) (*graph.Forest, *Stats) {
+	p := opt.workers()
+	stats := &Stats{Algorithm: "Bor-FAL", Workers: p}
+	sw := stopwatch{enabled: opt.Stats}
+
+	base := graph.BuildAdj(g)
+	f := graph.NewFlexAdj(base)
+
+	var ids []int32
+	for {
+		var it IterStats
+		it.N = f.N
+
+		// Step 1: find-min with on-the-fly filtering. Every arc in every
+		// chain is visited; arcs whose endpoints now share a supervertex
+		// are skipped via the lookup table.
+		sw.begin()
+		n := f.N
+		parent := make([]int32, n)
+		sel := make([]int32, n)
+		// Dynamic scheduling: chain lengths grow skewed as supervertices
+		// merge, so static vertex ranges would leave workers idle behind
+		// the owner of the giant chains.
+		chainArcs := make([]int64, par.Clamp(p, n))
+		par.ForDynamic(p, n, 256, func(w, lo, hi int) {
+			var visited int64
+			for s := lo; s < hi; s++ {
+				bestW := 0.0
+				bestID := int32(-1)
+				bestTo := int32(s)
+				f.Chain(int32(s), func(e graph.AdjEntry) {
+					visited++
+					t := f.Lookup[e.To]
+					if int(t) == s {
+						return // self-loop inside the supervertex
+					}
+					if bestID < 0 || e.W < bestW || (e.W == bestW && e.EID < bestID) {
+						bestW, bestID, bestTo = e.W, e.EID, t
+					}
+				})
+				if bestID < 0 {
+					parent[s] = int32(s)
+				} else {
+					parent[s] = bestTo
+					sel[s] = bestID
+				}
+			}
+			chainArcs[w] += visited
+		})
+		for _, v := range chainArcs {
+			it.ListSize += v
+		}
+		selected := par.ReduceInt64(p, n, func(_, lo, hi int) int64 {
+			var c int64
+			for v := lo; v < hi; v++ {
+				if int(parent[v]) != v {
+					c++
+				}
+			}
+			return c
+		})
+		if selected > 0 {
+			ids = harvest(p, parent, sel, ids)
+		}
+		sw.end(&it.Steps.FindMin)
+		if selected == 0 {
+			// All remaining arcs are intra-supervertex: the forest is done.
+			if opt.Stats {
+				stats.Iters = append(stats.Iters, it)
+				stats.Total.Add(it.Steps)
+			}
+			break
+		}
+
+		// Step 2: connect-components.
+		sw.begin()
+		labels, k := cc.Resolve(p, parent)
+		sw.end(&it.Steps.ConnectComponents)
+
+		// Step 3: compact-graph — group supervertices by new label (the
+		// "smaller parallel sort"), append member chains with pointer
+		// operations, and update the original-vertex lookup table.
+		sw.begin()
+		order, gstarts := sorts.CountingGroup(p, labels, k)
+		newHead := make([]int32, k)
+		newTail := make([]int32, k)
+		par.ForDynamic(p, k, 256, func(_, lo, hi int) {
+			for gidx := lo; gidx < hi; gidx++ {
+				members := order[gstarts[gidx]:gstarts[gidx+1]]
+				head, tail := int32(-1), int32(-1)
+				for _, s := range members {
+					if f.Head[s] < 0 {
+						continue
+					}
+					if head < 0 {
+						head, tail = f.Head[s], f.Tail[s]
+					} else {
+						f.Blocks[tail].Next = f.Head[s]
+						tail = f.Tail[s]
+					}
+				}
+				newHead[gidx] = head
+				newTail[gidx] = tail
+			}
+		})
+		// O(n_original / p) lookup-table update.
+		par.For(p, len(f.Lookup), func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				f.Lookup[v] = labels[f.Lookup[v]]
+			}
+		})
+		f.Head, f.Tail, f.N = newHead, newTail, k
+		sw.end(&it.Steps.CompactGraph)
+
+		if opt.Stats {
+			stats.Iters = append(stats.Iters, it)
+			stats.Total.Add(it.Steps)
+		}
+	}
+	return finish(g, ids, f.N), stats
+}

@@ -1,0 +1,181 @@
+// Package boruvka implements the paper's four parallel Borůvka variants
+// for shared memory (Section 2):
+//
+//   - EL  (Bor-EL):  edge-list representation, compact-graph by one global
+//     parallel sample sort of the edge list.
+//   - AL  (Bor-AL):  adjacency-array representation, compact-graph by a
+//     two-level sort (parallel group sort of the vertices
+//     plus concurrent sequential sorts of each adjacency
+//     list: insertion sort for short lists, non-recursive
+//     merge sort for long ones).
+//   - ALM (Bor-ALM): the AL algorithm with all transient memory served
+//     from per-worker arenas and reused iteration buffers
+//     instead of fresh shared-heap allocations.
+//   - FAL (Bor-FAL): the paper's flexible adjacency list, which turns
+//     compact-graph into a small sort plus O(n) pointer
+//     appends and moves the filtering work into find-min.
+//
+// Every variant runs the same three-step iteration — find-min,
+// connect-components, compact-graph — and can record per-step wall time
+// and per-iteration sizes, which is what regenerates Table 1 and Fig. 2.
+package boruvka
+
+import (
+	"time"
+
+	"pmsf/internal/graph"
+	"pmsf/internal/par"
+	"pmsf/internal/sorts"
+)
+
+// Options configures a parallel Borůvka run.
+type Options struct {
+	// Workers is the number of parallel workers p; 0 means GOMAXPROCS.
+	Workers int
+	// Stats enables per-iteration instrumentation.
+	Stats bool
+	// InsertionCutoff is the list length below which the per-list sorts
+	// of Bor-AL use insertion sort; 0 means sorts.InsertionCutoff.
+	InsertionCutoff int
+	// Seed drives sample-sort splitter selection (Bor-EL) only; results
+	// are identical for any seed.
+	Seed uint64
+	// SortEngine selects the parallel sort behind Bor-EL's compact-graph
+	// step; the default is the paper's sample sort.
+	SortEngine SortEngine
+}
+
+// SortEngine names a parallel sorting algorithm for the Bor-EL edge
+// sort.
+type SortEngine int
+
+const (
+	// SortSampleSort is the Helman-JáJá parallel sample sort (the
+	// paper's choice).
+	SortSampleSort SortEngine = iota
+	// SortParallelMerge is pairwise parallel merge sort.
+	SortParallelMerge
+	// SortRadix is a sequential 10-pass LSD radix sort specialized to the
+	// working-edge key (U, V, weight bits, id) — no comparisons at all.
+	SortRadix
+)
+
+// String names the engine.
+func (e SortEngine) String() string {
+	switch e {
+	case SortSampleSort:
+		return "sample-sort"
+	case SortParallelMerge:
+		return "parallel-merge"
+	case SortRadix:
+		return "radix"
+	}
+	return "unknown"
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return par.DefaultWorkers()
+	}
+	return o.Workers
+}
+
+func (o Options) cutoff() int {
+	if o.InsertionCutoff <= 0 {
+		return sorts.InsertionCutoff
+	}
+	return o.InsertionCutoff
+}
+
+// StepTimes records wall time per Borůvka step.
+type StepTimes struct {
+	FindMin           time.Duration
+	ConnectComponents time.Duration
+	CompactGraph      time.Duration
+}
+
+// Add accumulates other into s.
+func (s *StepTimes) Add(other StepTimes) {
+	s.FindMin += other.FindMin
+	s.ConnectComponents += other.ConnectComponents
+	s.CompactGraph += other.CompactGraph
+}
+
+// Total returns the summed step time.
+func (s StepTimes) Total() time.Duration {
+	return s.FindMin + s.ConnectComponents + s.CompactGraph
+}
+
+// IterStats describes one Borůvka iteration.
+type IterStats struct {
+	// N is the number of supervertices at the start of the iteration.
+	N int
+	// ListSize is the size of the working edge structure at the start of
+	// the iteration: directed edge-list entries for Bor-EL (the "2m"
+	// column of Table 1), total adjacency entries for Bor-AL/ALM, and
+	// total chained arcs (including not-yet-filtered self-loops and
+	// multi-edges) for Bor-FAL.
+	ListSize int64
+	Steps    StepTimes
+}
+
+// Stats is the instrumentation record of a run.
+type Stats struct {
+	Algorithm string
+	Workers   int
+	Iters     []IterStats
+	Total     StepTimes
+}
+
+// stopwatch measures a step when enabled.
+type stopwatch struct {
+	enabled bool
+	start   time.Time
+}
+
+func (s *stopwatch) begin() {
+	if s.enabled {
+		s.start = time.Now()
+	}
+}
+
+func (s *stopwatch) end(d *time.Duration) {
+	if s.enabled {
+		*d += time.Since(s.start)
+	}
+}
+
+// harvest appends to ids the edge selected by each supervertex that found
+// an outgoing minimum edge, deduplicating the mutual-pair case (when u
+// and v select the same edge, the smaller endpoint owns it). parent must
+// be the raw chosen-neighbor array BEFORE connected components resolves
+// it. It returns the extended slice.
+func harvest(p int, parent, sel []int32, ids []int32) []int32 {
+	picked := par.PackIndices(p, len(parent), func(v int) bool {
+		pv := parent[v]
+		if int(pv) == v {
+			return false
+		}
+		// Mutual pair: both endpoints chose the same undirected edge; the
+		// smaller id owns it.
+		if int(parent[pv]) == v && int(pv) < v {
+			return false
+		}
+		return true
+	})
+	for _, v := range picked {
+		ids = append(ids, sel[v])
+	}
+	return ids
+}
+
+// finish builds the Forest result from the selected edge ids, recomputing
+// the weight against the original graph, and filling in the component
+// count.
+func finish(g *graph.EdgeList, ids []int32, components int) *graph.Forest {
+	f := &graph.Forest{EdgeIDs: ids, Components: components}
+	for _, id := range ids {
+		f.Weight += g.Edges[id].W
+	}
+	return f
+}

@@ -1,0 +1,65 @@
+package boruvka
+
+import (
+	"testing"
+
+	"pmsf/internal/gen"
+)
+
+func TestProfileListLengths(t *testing.T) {
+	g := gen.Random(5000, 30000, 1) // the paper's 1M/6M profile, scaled
+	hists := ProfileListLengths(g, Options{})
+	if len(hists) == 0 {
+		t.Fatal("no iterations profiled")
+	}
+	// First iteration: every vertex with degree > 0 is a list; bucket
+	// counts must sum to the list count.
+	h0 := hists[0]
+	var sum int64
+	for _, b := range h0.UpTo {
+		sum += b.Count
+	}
+	if sum != h0.Lists {
+		t.Fatalf("bucket sum %d != lists %d", sum, h0.Lists)
+	}
+	if h0.Lists != int64(g.N) { // random 6x graph: no isolated vertices at n=5000 w.h.p.
+		t.Logf("first iteration lists = %d of %d vertices", h0.Lists, g.N)
+	}
+	// The paper's observation: the overwhelming majority of lists are
+	// short. For a 6x random graph, essentially all first-iteration lists
+	// have <= 100 entries.
+	if frac := ShortListFraction(hists[:1], 100); frac < 0.8 {
+		t.Fatalf("short-list fraction %.2f < 0.8", frac)
+	}
+	// Iterations must show the supervertex count collapsing.
+	for i := 1; i < len(hists); i++ {
+		if hists[i].Lists >= hists[i-1].Lists {
+			t.Fatalf("iteration %d: lists %d did not shrink from %d",
+				i+1, hists[i].Lists, hists[i-1].Lists)
+		}
+	}
+}
+
+func TestShortListFractionEmpty(t *testing.T) {
+	if ShortListFraction(nil, 100) != 0 {
+		t.Fatal("empty profile should report 0")
+	}
+}
+
+func TestSortCutoffSuggestion(t *testing.T) {
+	g := gen.Random(3000, 18000, 2)
+	hists := ProfileListLengths(g, Options{})
+	cut := SortCutoffSuggestion(hists, 0.8)
+	found := false
+	for _, m := range DefaultBucketMaxes {
+		if cut == m {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("suggestion %d is not a bucket boundary", cut)
+	}
+	if SortCutoffSuggestion(nil, 0.8) <= 0 {
+		t.Fatal("empty profile suggestion must be positive")
+	}
+}

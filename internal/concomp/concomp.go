@@ -1,0 +1,135 @@
+// Package concomp computes connected components of undirected graphs on
+// shared memory — the first of the follow-on problems the paper's
+// conclusion targets ("we plan to apply the techniques discussed in this
+// paper to ... connected components"). Two algorithms are provided:
+//
+//   - SV: the Shiloach-Vishkin style algorithm built from the same
+//     primitives as the Borůvka variants — rounds of hooking (each vertex
+//     grafts its root onto a neighbouring smaller root) followed by
+//     pointer-jumping shortcuts.
+//   - UnionFind: edge-parallel lock-free union-find, typically faster in
+//     practice, used as the cross-check.
+//
+// Both return dense component labels and the component count.
+package concomp
+
+import (
+	"sync/atomic"
+
+	"pmsf/internal/graph"
+	"pmsf/internal/par"
+	"pmsf/internal/uf"
+)
+
+// UnionFind computes components by unioning every edge into a lock-free
+// union-find with p workers.
+func UnionFind(g *graph.EdgeList, p int) (labels []int32, k int) {
+	if p <= 0 {
+		p = par.DefaultWorkers()
+	}
+	u := uf.NewConcurrent(g.N)
+	par.For(p, len(g.Edges), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := g.Edges[i]
+			if e.U != e.V {
+				u.Union(e.U, e.V)
+			}
+		}
+	})
+	root := make([]int32, g.N)
+	par.For(p, g.N, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			root[v] = u.Find(int32(v))
+		}
+	})
+	return denseLabels(p, root)
+}
+
+// SV computes components with hooking + pointer jumping. parent[v]
+// converges to the minimum vertex id of v's component, giving
+// deterministic labels independent of p.
+func SV(g *graph.EdgeList, p int) (labels []int32, k int) {
+	if p <= 0 {
+		p = par.DefaultWorkers()
+	}
+	n := g.N
+	parent := make([]int32, n)
+	for v := range parent {
+		parent[v] = int32(v)
+	}
+	if n == 0 {
+		return nil, 0
+	}
+	for {
+		// Hooking: for every edge (u,v), try to hang the larger root
+		// under the smaller. CAS keeps each write consistent; losing a
+		// race just defers the hook to the next round.
+		hooked := par.ReduceInt64(p, len(g.Edges), func(_, lo, hi int) int64 {
+			var c int64
+			for i := lo; i < hi; i++ {
+				e := g.Edges[i]
+				if e.U == e.V {
+					continue
+				}
+				ru := atomic.LoadInt32(&parent[e.U])
+				rv := atomic.LoadInt32(&parent[e.V])
+				if ru == rv {
+					continue
+				}
+				// Only roots may be hooked, and only onto smaller ids —
+				// this keeps the structure acyclic.
+				small, big := ru, rv
+				if small > big {
+					small, big = big, small
+				}
+				if atomic.CompareAndSwapInt32(&parent[big], big, small) {
+					c++
+				}
+			}
+			return c
+		})
+		// Shortcutting: full pointer jumping to the roots.
+		for {
+			changed := par.ReduceInt64(p, n, func(_, lo, hi int) int64 {
+				var c int64
+				for v := lo; v < hi; v++ {
+					pv := atomic.LoadInt32(&parent[v])
+					gp := atomic.LoadInt32(&parent[pv])
+					if gp != pv {
+						atomic.StoreInt32(&parent[v], gp)
+						c++
+					}
+				}
+				return c
+			})
+			if changed == 0 {
+				break
+			}
+		}
+		if hooked == 0 {
+			break
+		}
+	}
+	return denseLabels(p, parent)
+}
+
+// denseLabels converts a root-per-vertex array into dense labels ordered
+// by root id (so labels are deterministic).
+func denseLabels(p int, root []int32) ([]int32, int) {
+	n := len(root)
+	roots := par.PackIndices(p, n, func(i int) bool { return int(root[i]) == i })
+	k := len(roots)
+	rootLabel := make([]int32, n)
+	par.For(p, k, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rootLabel[roots[i]] = int32(i)
+		}
+	})
+	labels := make([]int32, n)
+	par.For(p, n, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			labels[v] = rootLabel[root[v]]
+		}
+	})
+	return labels, k
+}

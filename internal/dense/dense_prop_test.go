@@ -1,0 +1,45 @@
+package dense
+
+// Cross-checks against the sparse algorithms and worker-count sweeps on
+// reweighted inputs.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmsf/internal/gen"
+	"pmsf/internal/rng"
+	"pmsf/internal/seq"
+)
+
+func TestDenseAgreesWithKruskalProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(120)
+		maxM := n * (n - 1) / 2
+		m := r.Intn(maxM + 1)
+		g := gen.Random(n, m, r.Uint64())
+		ref := seq.Kruskal(g)
+		got := Run(g, Options{Workers: 1 + r.Intn(4)})
+		d := got.Weight - ref.Weight
+		return got.Components == ref.Components &&
+			len(got.EdgeIDs) == len(ref.EdgeIDs) &&
+			d < 1e-9 && d > -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseUnderWeightDistributions(t *testing.T) {
+	base := gen.Random(250, 4000, 31)
+	for _, d := range gen.WeightDists() {
+		g := gen.Reweight(base, d, 32)
+		ref := seq.Kruskal(g)
+		got := Run(g, Options{})
+		delta := got.Weight - ref.Weight
+		if delta > 1e-9 || delta < -1e-9 {
+			t.Fatalf("%v: weight %g != %g", d, got.Weight, ref.Weight)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package filter
+
+import (
+	"fmt"
+	"testing"
+
+	"pmsf/internal/gen"
+	"pmsf/internal/graph"
+	"pmsf/internal/verify"
+)
+
+func TestFilterProducesMSF(t *testing.T) {
+	inputs := map[string]*graph.EdgeList{
+		"empty":        {N: 0},
+		"isolated":     {N: 5},
+		"one-edge":     {N: 2, Edges: []graph.Edge{{U: 0, V: 1, W: 1}}},
+		"random":       gen.Random(2000, 10000, 1),
+		"dense":        gen.Random(500, 20000, 2),
+		"disconnected": gen.Random(1500, 900, 3),
+		"mesh":         gen.Mesh2D(30, 30, 4),
+		"geometric":    gen.Geometric(600, 6, 5),
+		"str0":         gen.Str0(256, 6),
+	}
+	for name, g := range inputs {
+		for _, p := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/p=%d", name, p), func(t *testing.T) {
+				f, _ := Run(g, Options{Workers: p, Seed: 42})
+				if err := verify.Full(g, f); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestFilterWithTies(t *testing.T) {
+	g := gen.Random(800, 6000, 7)
+	for i := range g.Edges {
+		g.Edges[i].W = float64(i % 4)
+	}
+	for seed := uint64(0); seed < 5; seed++ {
+		f, _ := Run(g, Options{Workers: 4, Seed: seed})
+		if err := verify.Full(g, f); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// The KKT filter's point: the final phase sees O(n/p) expected edges, so
+// on a dense input the survivor count must be far below m.
+func TestFilterReducesDenseInput(t *testing.T) {
+	g := gen.Random(1000, 50000, 8) // m/n = 50
+	f, stats := Run(g, Options{Workers: 4, Seed: 1, Stats: true})
+	if err := verify.Minimum(g, f); err != nil {
+		t.Fatal(err)
+	}
+	if stats.FinalM >= stats.M/4 {
+		t.Fatalf("filter kept %d of %d edges; expected a large reduction", stats.FinalM, stats.M)
+	}
+	// Expected survivors <= sampled (about m/2) forest part + ~n/p heavy
+	// survivors; sanity bound at 4n.
+	if stats.FinalM > 4*g.N {
+		t.Fatalf("final %d edges exceeds 4n", stats.FinalM)
+	}
+	if stats.Sampled == 0 || stats.Discarded == 0 {
+		t.Fatalf("stats incomplete: %+v", stats)
+	}
+	if stats.SampleMSF == nil || stats.FinalMSF == nil {
+		t.Fatal("inner stats missing")
+	}
+}
+
+func TestFilterSampleProbabilities(t *testing.T) {
+	g := gen.Random(1000, 20000, 9)
+	for _, prob := range []float64{0.1, 0.25, 0.5, 0.9} {
+		f, stats := Run(g, Options{Workers: 2, Seed: 3, SampleP: prob, Stats: true})
+		if err := verify.Minimum(g, f); err != nil {
+			t.Fatalf("p=%g: %v", prob, err)
+		}
+		ratio := float64(stats.Sampled) / float64(stats.M)
+		if ratio < prob-0.05 || ratio > prob+0.05 {
+			t.Fatalf("p=%g: sampled fraction %.3f", prob, ratio)
+		}
+	}
+	// Out-of-range probabilities default to 0.5.
+	_, stats := Run(g, Options{Workers: 2, Seed: 3, SampleP: 7, Stats: true})
+	if stats.SampleProb != 0.5 {
+		t.Fatalf("prob defaulted to %g", stats.SampleProb)
+	}
+}
+
+func TestFilterManySeeds(t *testing.T) {
+	g := gen.Random(700, 5000, 10)
+	for seed := uint64(0); seed < 10; seed++ {
+		f, _ := Run(g, Options{Workers: 3, Seed: seed})
+		if err := verify.Minimum(g, f); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestFilterRecursive(t *testing.T) {
+	g := gen.Random(2000, 60000, 11) // dense enough to trigger recursion
+	f, stats := Run(g, Options{
+		Workers: 4, Seed: 2, Stats: true,
+		MaxLevels: 3, RecurseBelow: 5000,
+	})
+	if err := verify.Full(g, f); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Levels < 2 {
+		t.Fatalf("recursion did not engage: %d levels", stats.Levels)
+	}
+	// Single level must also still work and agree.
+	f1, s1 := Run(g, Options{Workers: 4, Seed: 2})
+	if s1.Levels != 1 {
+		t.Fatalf("default levels = %d", s1.Levels)
+	}
+	if d := f.Weight - f1.Weight; d > 1e-9 || d < -1e-9 {
+		t.Fatal("recursive and single-level filters disagree")
+	}
+}
+
+func TestFilterRecursionDepthBounded(t *testing.T) {
+	g := gen.Random(1500, 40000, 12)
+	_, stats := Run(g, Options{Workers: 2, Seed: 1, Stats: true, MaxLevels: 2, RecurseBelow: 100})
+	if stats.Levels > 2 {
+		t.Fatalf("depth %d exceeds MaxLevels", stats.Levels)
+	}
+}

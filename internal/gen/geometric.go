@@ -1,0 +1,158 @@
+package gen
+
+import (
+	"math"
+	"sort"
+
+	"pmsf/internal/graph"
+	"pmsf/internal/rng"
+)
+
+// Geometric returns the fixed-degree geometric graphs of Moret and
+// Shapiro used by the paper: n points uniform in the unit square, each
+// vertex connected to its k nearest neighbors, with Euclidean distance as
+// the edge weight. The k-NN search uses a uniform cell grid with
+// expanding ring search, so generation is near-linear for uniform points.
+func Geometric(n, k int, seed uint64) *graph.EdgeList {
+	if k >= n {
+		k = n - 1
+	}
+	if n <= 0 || k <= 0 {
+		return &graph.EdgeList{N: n}
+	}
+	r := rng.New(seed)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = r.Float64()
+		ys[i] = r.Float64()
+	}
+
+	// Cell grid sized for ~2 points per cell.
+	side := int(math.Sqrt(float64(n) / 2))
+	if side < 1 {
+		side = 1
+	}
+	cellOf := func(i int) (int, int) {
+		cx := int(xs[i] * float64(side))
+		cy := int(ys[i] * float64(side))
+		if cx >= side {
+			cx = side - 1
+		}
+		if cy >= side {
+			cy = side - 1
+		}
+		return cx, cy
+	}
+	// Bucket points by cell (counting sort).
+	cellIdx := make([]int32, n)
+	counts := make([]int32, side*side+1)
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(i)
+		c := int32(cx*side + cy)
+		cellIdx[i] = c
+		counts[c+1]++
+	}
+	for c := 0; c < side*side; c++ {
+		counts[c+1] += counts[c]
+	}
+	bucket := make([]int32, n)
+	next := make([]int32, side*side)
+	copy(next, counts[:side*side])
+	for i := 0; i < n; i++ {
+		c := cellIdx[i]
+		bucket[next[c]] = int32(i)
+		next[c]++
+	}
+
+	type cand struct {
+		d2 float64
+		v  int32
+	}
+	best := make([]cand, 0, k+8)
+	keys := make([]uint64, 0, n*k)
+	weights := make(map[uint64]float64, n*k)
+
+	for u := 0; u < n; u++ {
+		best = best[:0]
+		ucx, ucy := cellOf(u)
+		cellW := 1.0 / float64(side)
+		for ring := 0; ; ring++ {
+			// Once we have k candidates, stop when the ring cannot
+			// contain anything closer than the current k-th distance.
+			if len(best) >= k {
+				minRingDist := float64(ring-1) * cellW
+				if minRingDist > 0 && minRingDist*minRingDist > best[k-1].d2 {
+					break
+				}
+			}
+			if ring > 2*side {
+				break
+			}
+			visited := false
+			for cx := ucx - ring; cx <= ucx+ring; cx++ {
+				if cx < 0 || cx >= side {
+					continue
+				}
+				for cy := ucy - ring; cy <= ucy+ring; cy++ {
+					if cy < 0 || cy >= side {
+						continue
+					}
+					// Ring boundary only.
+					if cx != ucx-ring && cx != ucx+ring && cy != ucy-ring && cy != ucy+ring {
+						continue
+					}
+					visited = true
+					c := cx*side + cy
+					for bi := counts[c]; bi < counts[c+1]; bi++ {
+						v := bucket[bi]
+						if int(v) == u {
+							continue
+						}
+						dx := xs[u] - xs[v]
+						dy := ys[u] - ys[v]
+						d2 := dx*dx + dy*dy
+						if len(best) < k {
+							best = append(best, cand{d2, v})
+							if len(best) == k {
+								sort.Slice(best, func(i, j int) bool { return best[i].d2 < best[j].d2 })
+							}
+						} else if d2 < best[k-1].d2 {
+							// Insert in sorted order (k is small).
+							pos := sort.Search(k, func(i int) bool { return best[i].d2 > d2 })
+							copy(best[pos+1:], best[pos:k-1])
+							best[pos] = cand{d2, v}
+						}
+					}
+				}
+			}
+			if !visited && ring > 0 && len(best) >= k {
+				break
+			}
+		}
+		if len(best) > 1 && len(best) < k {
+			sort.Slice(best, func(i, j int) bool { return best[i].d2 < best[j].d2 })
+		}
+		for _, c := range best {
+			a, b := int32(u), c.v
+			if a > b {
+				a, b = b, a
+			}
+			key := uint64(a)<<32 | uint64(b)
+			if _, ok := weights[key]; !ok {
+				keys = append(keys, key)
+				weights[key] = math.Sqrt(c.d2)
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	edges := make([]graph.Edge, len(keys))
+	for i, key := range keys {
+		edges[i] = graph.Edge{
+			U: int32(key >> 32),
+			V: int32(key & 0xffffffff),
+			W: weights[key],
+		}
+	}
+	return &graph.EdgeList{N: n, Edges: edges}
+}

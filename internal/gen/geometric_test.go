@@ -1,0 +1,128 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"pmsf/internal/rng"
+)
+
+func TestGeometricBasics(t *testing.T) {
+	g := Geometric(2000, 6, 1)
+	if g.N != 2000 {
+		t.Fatalf("n = %d", g.N)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Undirected dedupe: between n*k/2 (all mutual) and n*k edges.
+	if len(g.Edges) < 2000*6/2 || len(g.Edges) > 2000*6 {
+		t.Fatalf("m = %d outside [%d,%d]", len(g.Edges), 2000*6/2, 2000*6)
+	}
+	for _, e := range g.Edges {
+		if e.U >= e.V {
+			t.Fatalf("edge not normalized: %+v", e)
+		}
+		if e.W <= 0 || e.W > math.Sqrt2 {
+			t.Fatalf("distance weight %g outside (0, sqrt(2)]", e.W)
+		}
+	}
+}
+
+// Every vertex has degree >= k: it is connected to at least its own k
+// nearest neighbors (more when it is someone else's neighbor).
+func TestGeometricMinDegree(t *testing.T) {
+	const n, k = 1000, 5
+	g := Geometric(n, k, 2)
+	deg := make([]int, n)
+	for _, e := range g.Edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	for v, d := range deg {
+		if d < k {
+			t.Fatalf("vertex %d has degree %d < k=%d", v, d, k)
+		}
+	}
+}
+
+// Cross-check the grid-accelerated k-NN against brute force on a small
+// instance: the k nearest distances found must match exactly.
+func TestGeometricMatchesBruteForce(t *testing.T) {
+	const n, k = 300, 4
+	g := Geometric(n, k, 3)
+
+	// Rebuild the point set with the same RNG consumption order.
+	pts := regeneratePoints(n, 3)
+
+	// Brute-force k-NN edge set.
+	type pair struct{ a, b int32 }
+	want := map[pair]bool{}
+	for u := 0; u < n; u++ {
+		type cand struct {
+			d2 float64
+			v  int
+		}
+		var all []cand
+		for v := 0; v < n; v++ {
+			if v == u {
+				continue
+			}
+			dx, dy := pts[u][0]-pts[v][0], pts[u][1]-pts[v][1]
+			all = append(all, cand{dx*dx + dy*dy, v})
+		}
+		// Partial selection sort for the k smallest.
+		for i := 0; i < k; i++ {
+			min := i
+			for j := i + 1; j < len(all); j++ {
+				if all[j].d2 < all[min].d2 {
+					min = j
+				}
+			}
+			all[i], all[min] = all[min], all[i]
+			a, b := int32(u), int32(all[i].v)
+			if a > b {
+				a, b = b, a
+			}
+			want[pair{a, b}] = true
+		}
+	}
+	got := map[pair]bool{}
+	for _, e := range g.Edges {
+		got[pair{e.U, e.V}] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("edge count %d, brute force %d", len(got), len(want))
+	}
+	for p := range want {
+		if !got[p] {
+			t.Fatalf("missing edge %v", p)
+		}
+	}
+}
+
+// regeneratePoints replays the generator's point sampling (the first 2n
+// Float64 draws of the seeded stream, x and y interleaved per point).
+func regeneratePoints(n int, seed uint64) [][2]float64 {
+	r := rng.New(seed)
+	pts := make([][2]float64, n)
+	for i := 0; i < n; i++ {
+		pts[i][0] = r.Float64()
+		pts[i][1] = r.Float64()
+	}
+	return pts
+}
+
+func TestGeometricEdgeCases(t *testing.T) {
+	if g := Geometric(0, 3, 1); g.N != 0 || len(g.Edges) != 0 {
+		t.Fatal("n=0 broken")
+	}
+	if g := Geometric(1, 3, 1); g.N != 1 || len(g.Edges) != 0 {
+		t.Fatal("n=1 broken")
+	}
+	// k >= n clamps to n-1: the result is the complete graph.
+	g := Geometric(5, 10, 1)
+	if len(g.Edges) != 10 {
+		t.Fatalf("complete geometric graph has %d edges, want 10", len(g.Edges))
+	}
+}

@@ -1,0 +1,97 @@
+package gen
+
+import (
+	"testing"
+)
+
+func TestRandomParallelBasics(t *testing.T) {
+	g := RandomParallel(2000, 12000, 1, 4)
+	if g.N != 2000 || len(g.Edges) != 12000 {
+		t.Fatalf("shape n=%d m=%d", g.N, len(g.Edges))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for _, e := range g.Edges {
+		if e.U >= e.V {
+			t.Fatalf("edge not normalized: %+v", e)
+		}
+		key := uint64(e.U)<<32 | uint64(e.V)
+		if seen[key] {
+			t.Fatalf("duplicate edge %+v", e)
+		}
+		seen[key] = true
+		if e.W < 0 || e.W >= 1 {
+			t.Fatalf("weight %g", e.W)
+		}
+	}
+}
+
+// The defining property: output is identical for every worker count.
+func TestRandomParallelIndependentOfP(t *testing.T) {
+	ref := RandomParallel(1000, 6000, 7, 1)
+	for _, p := range []int{2, 3, 8} {
+		g := RandomParallel(1000, 6000, 7, p)
+		if len(g.Edges) != len(ref.Edges) {
+			t.Fatalf("p=%d: size differs", p)
+		}
+		for i := range g.Edges {
+			if g.Edges[i] != ref.Edges[i] {
+				t.Fatalf("p=%d: edge %d differs: %+v vs %+v", p, i, g.Edges[i], ref.Edges[i])
+			}
+		}
+	}
+}
+
+func TestRandomParallelSeedsDiffer(t *testing.T) {
+	a := RandomParallel(500, 3000, 1, 4)
+	b := RandomParallel(500, 3000, 2, 4)
+	same := 0
+	for i := range a.Edges {
+		if a.Edges[i] == b.Edges[i] {
+			same++
+		}
+	}
+	if same == len(a.Edges) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRandomParallelEdgeCases(t *testing.T) {
+	if g := RandomParallel(0, 0, 1, 4); g.N != 0 {
+		t.Fatal("n=0 broken")
+	}
+	if g := RandomParallel(1, 0, 1, 4); g.N != 1 || len(g.Edges) != 0 {
+		t.Fatal("n=1 broken")
+	}
+	// Dense request near the maximum.
+	n := 50
+	max := n * (n - 1) / 2
+	g := RandomParallel(n, max-3, 1, 4)
+	if len(g.Edges) != max-3 {
+		t.Fatalf("dense m = %d, want %d", len(g.Edges), max-3)
+	}
+}
+
+func TestRandomParallelTooManyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	RandomParallel(10, 1000, 1, 2)
+}
+
+func TestMergeSortedUint64(t *testing.T) {
+	got := mergeSortedUint64([]uint64{1, 3, 5}, []uint64{2, 3, 6})
+	want := []uint64{1, 2, 3, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("merged %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged %v, want %v", got, want)
+		}
+	}
+}

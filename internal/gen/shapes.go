@@ -1,0 +1,94 @@
+package gen
+
+import (
+	"pmsf/internal/graph"
+	"pmsf/internal/rng"
+)
+
+// Elementary graph shapes. These are not the paper's benchmark families;
+// they exist to stress specific algorithm behaviours in tests: stars
+// (single supervertex absorbing everything in one iteration, maximum
+// group size in compact-graph), paths (maximum Borůvka iteration depth
+// per edge, deepest path-max queries), cycles (the MST-BC progress
+// pathology), caterpillars (mixed degrees), and complete bipartite
+// graphs (dense multi-edges between few supervertices after one
+// contraction).
+
+// Star returns a star with n-1 leaves centered at vertex 0, with uniform
+// random weights.
+func Star(n int, seed uint64) *graph.EdgeList {
+	r := rng.New(seed)
+	g := &graph.EdgeList{N: n}
+	for i := int32(1); i < int32(n); i++ {
+		g.Edges = append(g.Edges, graph.Edge{U: 0, V: i, W: r.Float64()})
+	}
+	return g
+}
+
+// Path returns the path 0-1-...-n-1 with uniform random weights.
+func Path(n int, seed uint64) *graph.EdgeList {
+	r := rng.New(seed)
+	g := &graph.EdgeList{N: n}
+	for i := int32(0); i+1 < int32(n); i++ {
+		g.Edges = append(g.Edges, graph.Edge{U: i, V: i + 1, W: r.Float64()})
+	}
+	return g
+}
+
+// Cycle returns the n-cycle with uniform random weights — the structure
+// behind the paper's MST-BC zero-progress example.
+func Cycle(n int, seed uint64) *graph.EdgeList {
+	g := Path(n, seed)
+	if n >= 3 {
+		r := rng.New(seed + 1)
+		g.Edges = append(g.Edges, graph.Edge{U: int32(n - 1), V: 0, W: r.Float64()})
+	}
+	return g
+}
+
+// Caterpillar returns a path of spineLen vertices with legsPerSpine leaf
+// legs attached to every spine vertex.
+func Caterpillar(spineLen, legsPerSpine int, seed uint64) *graph.EdgeList {
+	r := rng.New(seed)
+	n := spineLen * (1 + legsPerSpine)
+	g := &graph.EdgeList{N: n}
+	for i := 0; i+1 < spineLen; i++ {
+		g.Edges = append(g.Edges, graph.Edge{U: int32(i), V: int32(i + 1), W: r.Float64()})
+	}
+	leg := spineLen
+	for i := 0; i < spineLen; i++ {
+		for l := 0; l < legsPerSpine; l++ {
+			g.Edges = append(g.Edges, graph.Edge{U: int32(i), V: int32(leg), W: r.Float64()})
+			leg++
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b} with uniform random weights: parts
+// {0..a-1} and {a..a+b-1}.
+func CompleteBipartite(a, b int, seed uint64) *graph.EdgeList {
+	r := rng.New(seed)
+	g := &graph.EdgeList{N: a + b}
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			g.Edges = append(g.Edges, graph.Edge{
+				U: int32(i), V: int32(a + j), W: r.Float64(),
+			})
+		}
+	}
+	return g
+}
+
+// Binary returns a complete binary tree on n vertices (heap indexing)
+// with uniform random weights.
+func Binary(n int, seed uint64) *graph.EdgeList {
+	r := rng.New(seed)
+	g := &graph.EdgeList{N: n}
+	for i := 1; i < n; i++ {
+		g.Edges = append(g.Edges, graph.Edge{
+			U: int32((i - 1) / 2), V: int32(i), W: r.Float64(),
+		})
+	}
+	return g
+}

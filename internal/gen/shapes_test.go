@@ -1,0 +1,79 @@
+package gen
+
+import (
+	"testing"
+
+	"pmsf/internal/graph"
+)
+
+func TestStar(t *testing.T) {
+	g := Star(100, 1)
+	if g.N != 100 || len(g.Edges) != 99 {
+		t.Fatalf("shape n=%d m=%d", g.N, len(g.Edges))
+	}
+	if graph.ComponentCount(g) != 1 {
+		t.Fatal("star disconnected")
+	}
+	deg := degrees(g)
+	if deg[0] != 99 {
+		t.Fatalf("center degree %d", deg[0])
+	}
+	for v := 1; v < 100; v++ {
+		if deg[v] != 1 {
+			t.Fatalf("leaf %d degree %d", v, deg[v])
+		}
+	}
+}
+
+func TestPathAndCycle(t *testing.T) {
+	p := Path(50, 1)
+	if len(p.Edges) != 49 || graph.ComponentCount(p) != 1 {
+		t.Fatal("path wrong")
+	}
+	c := Cycle(50, 1)
+	if len(c.Edges) != 50 || graph.ComponentCount(c) != 1 {
+		t.Fatal("cycle wrong")
+	}
+	for _, d := range degrees(c) {
+		if d != 2 {
+			t.Fatalf("cycle vertex degree %d", d)
+		}
+	}
+	// Tiny cycles degenerate to paths.
+	if len(Cycle(2, 1).Edges) != 1 {
+		t.Fatal("2-cycle should be one edge")
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar(10, 3, 1)
+	if g.N != 40 || len(g.Edges) != 9+30 {
+		t.Fatalf("shape n=%d m=%d", g.N, len(g.Edges))
+	}
+	if graph.ComponentCount(g) != 1 {
+		t.Fatal("caterpillar disconnected")
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite(4, 7, 1)
+	if g.N != 11 || len(g.Edges) != 28 {
+		t.Fatalf("shape n=%d m=%d", g.N, len(g.Edges))
+	}
+	for _, e := range g.Edges {
+		if e.U >= 4 || e.V < 4 {
+			t.Fatalf("edge %+v crosses the parts wrongly", e)
+		}
+	}
+}
+
+func TestBinary(t *testing.T) {
+	g := Binary(127, 1)
+	if len(g.Edges) != 126 || graph.ComponentCount(g) != 1 {
+		t.Fatal("binary tree wrong")
+	}
+	deg := degrees(g)
+	if deg[0] != 2 {
+		t.Fatalf("root degree %d", deg[0])
+	}
+}

@@ -1,0 +1,201 @@
+package gen
+
+import (
+	"math"
+
+	"pmsf/internal/graph"
+	"pmsf/internal/rng"
+)
+
+// The structured graphs of Chung and Condon are degenerate inputs — each
+// IS a spanning tree — whose recursive construction mirrors the Borůvka
+// iteration: the groups that form at recursion level L are exactly the
+// supervertices after Borůvka iteration L. Edge weights grow with level
+// (with random jitter inside a level), so every level-L edge is lighter
+// than every level-(L+1) edge, forcing Borůvka to contract exactly one
+// level per iteration pattern:
+//
+//	str0: groups are pairs            -> n halves each iteration (worst case: log2 n iterations)
+//	str1: groups are chains of √n     -> n -> √n each iteration
+//	str2: half one chain, half pairs  -> n -> n/4 + 1
+//	str3: groups are complete binary trees of √n vertices
+//
+// Within a group the weights are arranged so the whole group contracts in
+// a single iteration (monotone chains; parent-lighter-than-children
+// trees), matching the paper's description of the iteration counts.
+
+// levelWeight returns a weight in [level, level+0.5) so levels never
+// interleave but weights stay distinct with high probability.
+func levelWeight(r *rng.Xoshiro256, level int) float64 {
+	return float64(level) + 0.5*r.Float64()
+}
+
+// Str0 returns the str0 graph on n vertices (n rounded up to a power of
+// two): at every level pairs of group representatives are joined, so
+// parallel Borůvka needs exactly log2(n) iterations.
+func Str0(n int, seed uint64) *graph.EdgeList {
+	n = nextPow2(n)
+	r := rng.New(seed)
+	edges := make([]graph.Edge, 0, n-1)
+	level := 0
+	for stride := 1; stride < n; stride *= 2 {
+		for i := 0; i+stride < n; i += 2 * stride {
+			edges = append(edges, graph.Edge{
+				U: int32(i), V: int32(i + stride), W: levelWeight(r, level),
+			})
+		}
+		level++
+	}
+	return &graph.EdgeList{N: n, Edges: edges}
+}
+
+// Str1 returns the str1 graph: at each level the current representatives
+// are partitioned into chains of ~√(count) vertices. Chain weights are
+// monotone increasing along the chain (within the level band) so every
+// chain edge is selected by its right endpoint and the whole chain
+// contracts in one iteration.
+func Str1(n int, seed uint64) *graph.EdgeList {
+	r := rng.New(seed)
+	edges := make([]graph.Edge, 0, n-1)
+	reps := identity(n)
+	level := 0
+	for len(reps) > 1 {
+		chainLen := int(math.Ceil(math.Sqrt(float64(len(reps)))))
+		if chainLen < 2 {
+			chainLen = 2
+		}
+		var nextReps []int32
+		for lo := 0; lo < len(reps); lo += chainLen {
+			hi := lo + chainLen
+			if hi > len(reps) {
+				hi = len(reps)
+			}
+			appendChain(&edges, reps[lo:hi], level, r)
+			nextReps = append(nextReps, reps[lo])
+		}
+		if len(nextReps) == len(reps) {
+			// Guard against no progress (can only happen for tiny inputs).
+			appendChain(&edges, reps, level, r)
+			nextReps = reps[:1]
+		}
+		reps = nextReps
+		level++
+	}
+	return &graph.EdgeList{N: n, Edges: edges}
+}
+
+// Str2 returns the str2 graph: at each level half the representatives
+// form one monotone chain and the other half form pairs.
+func Str2(n int, seed uint64) *graph.EdgeList {
+	r := rng.New(seed)
+	edges := make([]graph.Edge, 0, n-1)
+	reps := identity(n)
+	level := 0
+	for len(reps) > 1 {
+		half := len(reps) / 2
+		if half < 1 {
+			half = 1
+		}
+		var nextReps []int32
+		// First half: a single chain.
+		appendChain(&edges, reps[:half], level, r)
+		nextReps = append(nextReps, reps[0])
+		// Second half: pairs.
+		rest := reps[half:]
+		for lo := 0; lo < len(rest); lo += 2 {
+			if lo+1 < len(rest) {
+				edges = append(edges, graph.Edge{U: rest[lo], V: rest[lo+1], W: levelWeight(r, level)})
+			}
+			nextReps = append(nextReps, rest[lo])
+		}
+		if len(nextReps) >= len(reps) {
+			appendChain(&edges, reps, level, r)
+			nextReps = reps[:1]
+		}
+		reps = nextReps
+		level++
+	}
+	return &graph.EdgeList{N: n, Edges: edges}
+}
+
+// Str3 returns the str3 graph: at each level groups of ~√(count)
+// representatives form complete binary trees whose edge weights increase
+// with depth, so every edge is the minimum edge of its child endpoint and
+// each tree contracts in one iteration.
+func Str3(n int, seed uint64) *graph.EdgeList {
+	r := rng.New(seed)
+	edges := make([]graph.Edge, 0, n-1)
+	reps := identity(n)
+	level := 0
+	for len(reps) > 1 {
+		groupLen := int(math.Ceil(math.Sqrt(float64(len(reps)))))
+		if groupLen < 2 {
+			groupLen = 2
+		}
+		var nextReps []int32
+		for lo := 0; lo < len(reps); lo += groupLen {
+			hi := lo + groupLen
+			if hi > len(reps) {
+				hi = len(reps)
+			}
+			group := reps[lo:hi]
+			// Complete binary tree rooted at group[0] (heap indexing).
+			// Weight band within the level rises with depth: the depth of
+			// heap index i is floor(log2(i+1)); scale jitter inside
+			// [level + depth*eps, ...) keeping the whole group inside the
+			// level band below level+1.
+			maxDepth := 1
+			for 1<<maxDepth < len(group) {
+				maxDepth++
+			}
+			depthBand := 0.5 / float64(maxDepth+1)
+			for i := 1; i < len(group); i++ {
+				d := 0
+				for x := i + 1; x > 1; x >>= 1 {
+					d++
+				}
+				w := float64(level) + float64(d)*depthBand + depthBand*r.Float64()
+				edges = append(edges, graph.Edge{U: group[(i-1)/2], V: group[i], W: w})
+			}
+			nextReps = append(nextReps, group[0])
+		}
+		if len(nextReps) >= len(reps) {
+			appendChain(&edges, reps, level, r)
+			nextReps = reps[:1]
+		}
+		reps = nextReps
+		level++
+	}
+	return &graph.EdgeList{N: n, Edges: edges}
+}
+
+// appendChain links ids into a path with weights monotone increasing
+// along the path within the level band, so the whole path contracts in a
+// single Borůvka iteration.
+func appendChain(edges *[]graph.Edge, ids []int32, level int, r *rng.Xoshiro256) {
+	k := len(ids) - 1
+	if k <= 0 {
+		return
+	}
+	band := 0.5 / float64(k)
+	for i := 0; i < k; i++ {
+		w := float64(level) + float64(i)*band + band*r.Float64()
+		*edges = append(*edges, graph.Edge{U: ids[i], V: ids[i+1], W: w})
+	}
+}
+
+func identity(n int) []int32 {
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	return ids
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}

@@ -1,0 +1,84 @@
+package gen
+
+import (
+	"math"
+
+	"pmsf/internal/graph"
+	"pmsf/internal/rng"
+)
+
+// WeightDist names an edge-weight distribution. The paper's Fig. 3
+// discussion observes that the sequential ranking depends not only on
+// density but on the weight assignment; ReweightGraph lets any input
+// family be re-drawn under a different distribution to reproduce that
+// sensitivity (msf-bench -exp weights).
+type WeightDist int
+
+const (
+	// WeightsUniform draws from [0, 1) — the paper's default.
+	WeightsUniform WeightDist = iota
+	// WeightsExponential draws Exp(1): many light edges, a heavy tail.
+	WeightsExponential
+	// WeightsSmallInts draws uniformly from {0, 1, ..., 7}: massive
+	// ties, stressing comparators and making Kruskal's sort cheap per
+	// comparison but useless for early termination.
+	WeightsSmallInts
+	// WeightsStructured makes the weight equal to |u - v| scaled into
+	// [0, 1): strongly correlated with the vertex numbering, the
+	// adversarial case for algorithms that exploit weight randomness.
+	WeightsStructured
+)
+
+// String names the distribution.
+func (d WeightDist) String() string {
+	switch d {
+	case WeightsUniform:
+		return "uniform"
+	case WeightsExponential:
+		return "exponential"
+	case WeightsSmallInts:
+		return "small-ints"
+	case WeightsStructured:
+		return "structured"
+	}
+	return "unknown"
+}
+
+// WeightDists lists all distributions.
+func WeightDists() []WeightDist {
+	return []WeightDist{WeightsUniform, WeightsExponential, WeightsSmallInts, WeightsStructured}
+}
+
+// Reweight returns a copy of g with edge weights re-drawn from the
+// distribution (deterministic in seed). The graph structure is
+// untouched.
+func Reweight(g *graph.EdgeList, d WeightDist, seed uint64) *graph.EdgeList {
+	r := rng.New(seed)
+	out := g.Clone()
+	n := float64(g.N)
+	for i := range out.Edges {
+		switch d {
+		case WeightsExponential:
+			u := r.Float64()
+			if u >= 1 {
+				u = math.Nextafter(1, 0)
+			}
+			out.Edges[i].W = -math.Log(1 - u)
+		case WeightsSmallInts:
+			out.Edges[i].W = float64(r.Intn(8))
+		case WeightsStructured:
+			diff := float64(out.Edges[i].U - out.Edges[i].V)
+			if diff < 0 {
+				diff = -diff
+			}
+			if n > 1 {
+				out.Edges[i].W = diff / n
+			} else {
+				out.Edges[i].W = 0
+			}
+		default:
+			out.Edges[i].W = r.Float64()
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package gen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReweightPreservesStructure(t *testing.T) {
+	g := Random(500, 2500, 1)
+	for _, d := range WeightDists() {
+		rw := Reweight(g, d, 7)
+		if rw.N != g.N || len(rw.Edges) != len(g.Edges) {
+			t.Fatalf("%v: shape changed", d)
+		}
+		for i := range rw.Edges {
+			if rw.Edges[i].U != g.Edges[i].U || rw.Edges[i].V != g.Edges[i].V {
+				t.Fatalf("%v: endpoints changed at %d", d, i)
+			}
+			if math.IsNaN(rw.Edges[i].W) {
+				t.Fatalf("%v: NaN weight", d)
+			}
+		}
+		if err := rw.Validate(); err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+	}
+	// The original is untouched.
+	if g.Edges[0].W < 0 || g.Edges[0].W >= 1 {
+		t.Fatal("original graph modified")
+	}
+}
+
+func TestReweightDistributions(t *testing.T) {
+	g := Random(300, 20000, 2)
+
+	exp := Reweight(g, WeightsExponential, 3)
+	var mean float64
+	for _, e := range exp.Edges {
+		if e.W < 0 {
+			t.Fatal("negative exponential weight")
+		}
+		mean += e.W
+	}
+	mean /= float64(len(exp.Edges))
+	if mean < 0.9 || mean > 1.1 {
+		t.Fatalf("exponential mean %.3f, want ~1", mean)
+	}
+
+	ints := Reweight(g, WeightsSmallInts, 4)
+	seen := map[float64]bool{}
+	for _, e := range ints.Edges {
+		if e.W != math.Trunc(e.W) || e.W < 0 || e.W > 7 {
+			t.Fatalf("small-int weight %g", e.W)
+		}
+		seen[e.W] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("only %d distinct small-int values", len(seen))
+	}
+
+	st := Reweight(g, WeightsStructured, 5)
+	for _, e := range st.Edges {
+		diff := float64(e.U - e.V)
+		if diff < 0 {
+			diff = -diff
+		}
+		if e.W != diff/float64(g.N) {
+			t.Fatalf("structured weight mismatch: %g vs %g", e.W, diff/float64(g.N))
+		}
+	}
+}
+
+func TestReweightDeterministic(t *testing.T) {
+	g := Random(200, 800, 6)
+	a := Reweight(g, WeightsExponential, 9)
+	b := Reweight(g, WeightsExponential, 9)
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestWeightDistNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, d := range WeightDists() {
+		n := d.String()
+		if n == "unknown" || seen[n] {
+			t.Fatalf("bad name %q", n)
+		}
+		seen[n] = true
+	}
+	if WeightDist(99).String() != "unknown" {
+		t.Fatal("unknown name")
+	}
+}

@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadDIMACS reads a graph in the DIMACS format used by the MST and
+// shortest-path implementation challenges:
+//
+//	c <comment>
+//	p <edge|sp> <n> <m>
+//	e <u> <v> <w>     (or "a" arc lines; duplicate arcs are kept)
+//
+// Vertices are 1-indexed in the file and converted to 0-indexed. Weights
+// may be integers or floats.
+func ReadDIMACS(r io.Reader) (*EdgeList, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var g *EdgeList
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == 'c' {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "p":
+			if g != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate problem line", lineNo)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: want \"p <type> n m\"", lineNo)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+			m, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+			g = &EdgeList{N: n, Edges: make([]Edge, 0, m)}
+		case "e", "a":
+			if g == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before problem line", lineNo)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: want \"%s u v w\"", lineNo, fields[0])
+			}
+			u, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+			v, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+			w, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+			if u < 1 || int(u) > g.N || v < 1 || int(v) > g.N {
+				return nil, fmt.Errorf("graph: line %d: vertex out of range [1,%d]", lineNo, g.N)
+			}
+			g.Edges = append(g.Edges, Edge{U: int32(u - 1), V: int32(v - 1), W: w})
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown line type %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: no problem line")
+	}
+	return g, nil
+}
+
+// WriteDIMACS writes g in the DIMACS edge format (1-indexed vertices).
+func WriteDIMACS(w io.Writer, g *EdgeList) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "p edge %d %d\n", g.N, len(g.Edges)); err != nil {
+		return err
+	}
+	for _, e := range g.Edges {
+		if _, err := fmt.Fprintf(bw, "e %d %d %g\n", e.U+1, e.V+1, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	g := randomEL(40, 100, 9)
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("DIMACS round trip mismatch")
+	}
+}
+
+func TestReadDIMACSFormat(t *testing.T) {
+	in := `c a comment line
+c another
+
+p edge 4 3
+e 1 2 0.5
+e 2 3 2
+a 3 4 7.25
+`
+	g, err := ReadDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 4 || len(g.Edges) != 3 {
+		t.Fatalf("parsed n=%d m=%d", g.N, len(g.Edges))
+	}
+	if g.Edges[0] != (Edge{U: 0, V: 1, W: 0.5}) {
+		t.Fatalf("first edge %+v", g.Edges[0])
+	}
+	if g.Edges[2] != (Edge{U: 2, V: 3, W: 7.25}) {
+		t.Fatalf("arc line %+v", g.Edges[2])
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"",                             // no problem line
+		"e 1 2 3\n",                    // edge before p
+		"p edge 2 1\np edge 2 1\n",     // duplicate p
+		"p edge\n",                     // short p
+		"p edge x 1\n",                 // bad n
+		"p edge 2 y\n",                 // bad m
+		"p edge 2 1\ne 1 2\n",          // short edge
+		"p edge 2 1\ne 0 2 1\n",        // 0-indexed vertex
+		"p edge 2 1\ne 1 9 1\n",        // out of range
+		"p edge 2 1\ne a 2 1\n",        // bad vertex
+		"p edge 2 1\ne 1 2 w\n",        // bad weight
+		"p edge 2 1\nq something123\n", // unknown line
+	}
+	for i, in := range cases {
+		if _, err := ReadDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}

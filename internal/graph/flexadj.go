@@ -1,0 +1,91 @@
+package graph
+
+// The flexible adjacency list (Section 2.3 of the paper) augments the
+// adjacency array by letting every supervertex own a *linked list of
+// adjacency arrays*. The underlying arc storage of the original graph is
+// never moved: contracting a component appends the members' chains with
+// O(1) pointer operations, and a vertex→supervertex lookup table lets
+// find-min filter self-loops and multi-edges on the fly.
+
+// Block is one segment of a supervertex's flexible adjacency list: the
+// arc range [Lo, Hi) of the base CSR that belonged to one original
+// vertex, plus the index of the next block in the chain (-1 terminates).
+type Block struct {
+	Lo, Hi int64
+	Next   int32
+}
+
+// FlexAdj is the flexible adjacency list over a fixed base CSR.
+//
+// Invariants:
+//   - Base is immutable; arcs always name original vertices.
+//   - Lookup[v] is the current supervertex of original vertex v.
+//   - Head[s]/Tail[s] delimit supervertex s's block chain for s < N.
+type FlexAdj struct {
+	Base   *AdjArray
+	Blocks []Block
+	Head   []int32
+	Tail   []int32
+	Lookup []Vertex // original vertex -> current supervertex
+	N      int      // current number of supervertices
+}
+
+// NewFlexAdj initializes the flexible adjacency list from a base CSR:
+// every original vertex is its own supervertex owning a single block.
+func NewFlexAdj(base *AdjArray) *FlexAdj {
+	n := base.N
+	f := &FlexAdj{
+		Base:   base,
+		Blocks: make([]Block, n),
+		Head:   make([]int32, n),
+		Tail:   make([]int32, n),
+		Lookup: make([]Vertex, n),
+		N:      n,
+	}
+	for v := 0; v < n; v++ {
+		f.Blocks[v] = Block{Lo: base.Off[v], Hi: base.Off[v+1], Next: -1}
+		f.Head[v] = int32(v)
+		f.Tail[v] = int32(v)
+		f.Lookup[v] = Vertex(v)
+	}
+	return f
+}
+
+// Chain calls fn for every arc in supervertex s's chain. fn receives the
+// arc; the target is an ORIGINAL vertex id that must be mapped through
+// Lookup by the caller. Iteration is purely sequential per chain.
+func (f *FlexAdj) Chain(s Vertex, fn func(AdjEntry)) {
+	for b := f.Head[s]; b >= 0; b = f.Blocks[b].Next {
+		blk := f.Blocks[b]
+		for i := blk.Lo; i < blk.Hi; i++ {
+			fn(f.Base.Arcs[i])
+		}
+	}
+}
+
+// ChainLen returns the total number of arcs in s's chain.
+func (f *FlexAdj) ChainLen(s Vertex) int64 {
+	var total int64
+	for b := f.Head[s]; b >= 0; b = f.Blocks[b].Next {
+		total += f.Blocks[b].Hi - f.Blocks[b].Lo
+	}
+	return total
+}
+
+// AppendChain links supervertex src's chain onto dst's chain and empties
+// src. Both must be valid current supervertices. The caller serializes
+// concurrent appends onto the same dst.
+func (f *FlexAdj) AppendChain(dst, src Vertex) {
+	if f.Head[src] < 0 {
+		return
+	}
+	if f.Head[dst] < 0 {
+		f.Head[dst] = f.Head[src]
+		f.Tail[dst] = f.Tail[src]
+	} else {
+		f.Blocks[f.Tail[dst]].Next = f.Head[src]
+		f.Tail[dst] = f.Tail[src]
+	}
+	f.Head[src] = -1
+	f.Tail[src] = -1
+}

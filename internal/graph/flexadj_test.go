@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"testing"
+)
+
+func flexFixture() (*EdgeList, *FlexAdj) {
+	// The paper's Fig. 1 graph: 6 vertices, edges
+	// (1,5) (1,2) (2,6) (5,3) (3,4) (4,6) — renumbered to 0-based.
+	g := &EdgeList{N: 6, Edges: []Edge{
+		{U: 0, V: 4, W: 1},
+		{U: 0, V: 1, W: 2},
+		{U: 1, V: 5, W: 3},
+		{U: 4, V: 2, W: 4},
+		{U: 2, V: 3, W: 5},
+		{U: 3, V: 5, W: 6},
+	}}
+	return g, NewFlexAdj(BuildAdj(g))
+}
+
+func TestNewFlexAdjInitialChains(t *testing.T) {
+	g, f := flexFixture()
+	if f.N != g.N {
+		t.Fatalf("N = %d", f.N)
+	}
+	total := int64(0)
+	for s := int32(0); s < int32(f.N); s++ {
+		seen := 0
+		f.Chain(s, func(e AdjEntry) {
+			seen++
+			// Every arc of s's initial chain is incident to s.
+			edge := g.Edges[e.EID]
+			if edge.U != s && edge.V != s {
+				t.Fatalf("vertex %d chain holds foreign edge %+v", s, edge)
+			}
+		})
+		if int64(seen) != f.ChainLen(s) {
+			t.Fatalf("vertex %d: Chain visited %d, ChainLen %d", s, seen, f.ChainLen(s))
+		}
+		total += f.ChainLen(s)
+	}
+	if total != int64(2*len(g.Edges)) {
+		t.Fatalf("total arcs %d, want %d", total, 2*len(g.Edges))
+	}
+}
+
+func TestAppendChain(t *testing.T) {
+	_, f := flexFixture()
+	l0, l1 := f.ChainLen(0), f.ChainLen(1)
+	f.AppendChain(0, 1)
+	if f.ChainLen(0) != l0+l1 {
+		t.Fatalf("appended chain len %d, want %d", f.ChainLen(0), l0+l1)
+	}
+	if f.Head[1] != -1 || f.Tail[1] != -1 {
+		t.Fatal("source chain not emptied")
+	}
+	// Appending an empty chain is a no-op.
+	before := f.ChainLen(0)
+	f.AppendChain(0, 1)
+	if f.ChainLen(0) != before {
+		t.Fatal("append of empty chain changed dst")
+	}
+	// Appending onto an empty dst adopts the source chain.
+	l2 := f.ChainLen(2)
+	f.AppendChain(1, 2)
+	if f.ChainLen(1) != l2 || f.ChainLen(2) != 0 {
+		t.Fatal("append onto empty dst broken")
+	}
+}
+
+func TestChainOrderPreserved(t *testing.T) {
+	// After appends, the chain visits blocks in append order and each
+	// block's arcs in base order — the property the paper's Fig. 1 shows.
+	_, f := flexFixture()
+	var want []AdjEntry
+	f.Chain(0, func(e AdjEntry) { want = append(want, e) })
+	f.Chain(3, func(e AdjEntry) { want = append(want, e) })
+	f.Chain(5, func(e AdjEntry) { want = append(want, e) })
+	f.AppendChain(0, 3)
+	f.AppendChain(0, 5)
+	var got []AdjEntry
+	f.Chain(0, func(e AdjEntry) { got = append(got, e) })
+	if len(got) != len(want) {
+		t.Fatalf("chain len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("chain order differs at %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFlexAdjLookupIdentity(t *testing.T) {
+	_, f := flexFixture()
+	for v, s := range f.Lookup {
+		if int32(v) != s {
+			t.Fatalf("initial lookup[%d] = %d", v, s)
+		}
+	}
+}

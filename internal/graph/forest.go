@@ -1,0 +1,34 @@
+package graph
+
+// Forest is the result of a minimum spanning forest computation: the
+// identifiers of the selected edges (indices into the input edge list),
+// the total weight, and the number of connected components of the input
+// (isolated vertices each count as one component).
+type Forest struct {
+	EdgeIDs    []int32
+	Weight     Weight
+	Components int
+}
+
+// Size returns the number of selected edges, which for a correct
+// spanning forest equals N - Components.
+func (f *Forest) Size() int { return len(f.EdgeIDs) }
+
+// Edges materializes the selected edges of the forest against the input
+// graph g.
+func (f *Forest) Edges(g *EdgeList) []Edge {
+	out := make([]Edge, len(f.EdgeIDs))
+	for i, id := range f.EdgeIDs {
+		out[i] = g.Edges[id]
+	}
+	return out
+}
+
+// SumWeights recomputes the total weight from the edge ids against g.
+func (f *Forest) SumWeights(g *EdgeList) Weight {
+	var w Weight
+	for _, id := range f.EdgeIDs {
+		w += g.Edges[id].W
+	}
+	return w
+}

@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Forest serialization: a small text format so computed forests can be
+// saved by cmd/msf and consumed by downstream tools.
+//
+//	msf-forest <edges> <components> <weight>
+//	<edge id>
+//	...
+//
+// one id per line, in selection order.
+
+// WriteForest writes f in the forest text format.
+func WriteForest(w io.Writer, f *Forest) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintf(bw, "msf-forest %d %d %.17g\n",
+		len(f.EdgeIDs), f.Components, f.Weight); err != nil {
+		return err
+	}
+	for _, id := range f.EdgeIDs {
+		if _, err := fmt.Fprintf(bw, "%d\n", id); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadForest reads the forest text format. The result is structurally
+// unvalidated; pair with the verify package and the original graph.
+func ReadForest(r io.Reader) (*Forest, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("graph: empty forest input")
+	}
+	fields := strings.Fields(sc.Text())
+	if len(fields) != 4 || fields[0] != "msf-forest" {
+		return nil, fmt.Errorf("graph: bad forest header %q", sc.Text())
+	}
+	edges, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("graph: forest header: %w", err)
+	}
+	comps, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return nil, fmt.Errorf("graph: forest header: %w", err)
+	}
+	weight, err := strconv.ParseFloat(fields[3], 64)
+	if err != nil {
+		return nil, fmt.Errorf("graph: forest header: %w", err)
+	}
+	f := &Forest{Components: comps, Weight: weight, EdgeIDs: make([]int32, 0, edges)}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		id, err := strconv.ParseInt(line, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: forest edge line %q: %w", line, err)
+		}
+		f.EdgeIDs = append(f.EdgeIDs, int32(id))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(f.EdgeIDs) != edges {
+		return nil, fmt.Errorf("graph: forest has %d ids, header says %d", len(f.EdgeIDs), edges)
+	}
+	return f, nil
+}

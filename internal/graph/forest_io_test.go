@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestForestRoundTrip(t *testing.T) {
+	f := &Forest{EdgeIDs: []int32{5, 2, 9, 0}, Components: 3, Weight: 12.25}
+	var buf bytes.Buffer
+	if err := WriteForest(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Components != 3 || got.Weight != 12.25 || len(got.EdgeIDs) != 4 {
+		t.Fatalf("got %+v", got)
+	}
+	for i, id := range f.EdgeIDs {
+		if got.EdgeIDs[i] != id {
+			t.Fatalf("id %d: %d != %d", i, got.EdgeIDs[i], id)
+		}
+	}
+}
+
+func TestForestRoundTripEmpty(t *testing.T) {
+	f := &Forest{Components: 5}
+	var buf bytes.Buffer
+	if err := WriteForest(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.EdgeIDs) != 0 || got.Components != 5 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestForestWeightPrecision(t *testing.T) {
+	// %.17g must round-trip float64 exactly.
+	f := &Forest{EdgeIDs: []int32{1}, Components: 1, Weight: 0.1 + 0.2}
+	var buf bytes.Buffer
+	if err := WriteForest(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Weight != f.Weight {
+		t.Fatalf("weight %v != %v", got.Weight, f.Weight)
+	}
+}
+
+func TestReadForestErrors(t *testing.T) {
+	cases := []string{
+		"",                               // empty
+		"wrong 1 1 0\n1\n",               // bad magic
+		"msf-forest 1 1\n1\n",            // short header
+		"msf-forest x 1 0\n1\n",          // bad count
+		"msf-forest 1 y 0\n1\n",          // bad components
+		"msf-forest 1 1 z\n1\n",          // bad weight
+		"msf-forest 2 1 0\n1\n",          // count mismatch
+		"msf-forest 1 1 0\nnot-an-int\n", // bad id
+	}
+	for i, in := range cases {
+		if _, err := ReadForest(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}

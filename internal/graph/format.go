@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Format names a graph file format.
+type Format int
+
+const (
+	// FormatBinary is the library's native binary format (see io.go).
+	FormatBinary Format = iota
+	// FormatText is the "n m" + "u v w" text format.
+	FormatText
+	// FormatDIMACS is the DIMACS edge/arc challenge format.
+	FormatDIMACS
+	// FormatMETIS is the METIS adjacency format.
+	FormatMETIS
+)
+
+// ParseFormat resolves "binary", "text" or "dimacs" (case insensitive).
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "binary", "bin", "":
+		return FormatBinary, nil
+	case "text", "txt":
+		return FormatText, nil
+	case "dimacs", "gr":
+		return FormatDIMACS, nil
+	case "metis":
+		return FormatMETIS, nil
+	}
+	return 0, fmt.Errorf("graph: unknown format %q (want binary, text, dimacs or metis)", s)
+}
+
+// String returns the canonical format name.
+func (f Format) String() string {
+	switch f {
+	case FormatBinary:
+		return "binary"
+	case FormatText:
+		return "text"
+	case FormatDIMACS:
+		return "dimacs"
+	case FormatMETIS:
+		return "metis"
+	}
+	return fmt.Sprintf("Format(%d)", int(f))
+}
+
+// Read reads a graph from r in the format.
+func (f Format) Read(r io.Reader) (*EdgeList, error) {
+	switch f {
+	case FormatBinary:
+		return ReadBinary(r)
+	case FormatText:
+		return ReadText(r)
+	case FormatDIMACS:
+		return ReadDIMACS(r)
+	case FormatMETIS:
+		return ReadMETIS(r)
+	}
+	return nil, fmt.Errorf("graph: unknown format %v", f)
+}
+
+// Write writes g to w in the format.
+func (f Format) Write(w io.Writer, g *EdgeList) error {
+	switch f {
+	case FormatBinary:
+		return WriteBinary(w, g)
+	case FormatText:
+		return WriteText(w, g)
+	case FormatDIMACS:
+		return WriteDIMACS(w, g)
+	case FormatMETIS:
+		return WriteMETIS(w, g)
+	}
+	return fmt.Errorf("graph: unknown format %v", f)
+}

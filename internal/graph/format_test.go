@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestParseFormat(t *testing.T) {
+	cases := map[string]Format{
+		"binary": FormatBinary, "bin": FormatBinary, "": FormatBinary,
+		"text": FormatText, "TXT": FormatText,
+		"dimacs": FormatDIMACS, "gr": FormatDIMACS,
+		"metis": FormatMETIS,
+	}
+	for in, want := range cases {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestFormatStringRoundTrip(t *testing.T) {
+	for _, f := range []Format{FormatBinary, FormatText, FormatDIMACS, FormatMETIS} {
+		got, err := ParseFormat(f.String())
+		if err != nil || got != f {
+			t.Errorf("round trip of %v failed", f)
+		}
+	}
+	if Format(9).String() == "" {
+		t.Error("unknown format stringifies empty")
+	}
+}
+
+func TestFormatReadWriteAll(t *testing.T) {
+	g := randomEL(30, 80, 11)
+	for _, f := range []Format{FormatBinary, FormatText, FormatDIMACS} {
+		var buf bytes.Buffer
+		if err := f.Write(&buf, g); err != nil {
+			t.Fatalf("%v write: %v", f, err)
+		}
+		got, err := f.Read(&buf)
+		if err != nil {
+			t.Fatalf("%v read: %v", f, err)
+		}
+		if !graphsEqual(g, got) {
+			t.Fatalf("%v round trip mismatch", f)
+		}
+	}
+}
+
+func TestFormatUnknownErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Format(9).Write(&buf, &EdgeList{N: 1}); err == nil {
+		t.Error("unknown write format accepted")
+	}
+	if _, err := Format(9).Read(&buf); err == nil {
+		t.Error("unknown read format accepted")
+	}
+}
+
+func TestEdgeListM(t *testing.T) {
+	g := &EdgeList{N: 3, Edges: []Edge{{U: 0, V: 1}, {U: 1, V: 2}}}
+	if g.M() != 2 {
+		t.Fatalf("M = %d", g.M())
+	}
+}

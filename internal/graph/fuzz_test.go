@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The readers must never panic and must reject structurally invalid
+// graphs; whatever they accept must round-trip.
+
+func FuzzReadText(f *testing.F) {
+	f.Add("3 2\n0 1 0.5\n1 2 1.5\n")
+	f.Add("# comment\n2 1\n0 1 1\n")
+	f.Add("0 0\n")
+	f.Add("x")
+	f.Add("3 2\n0 1")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadText(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if g2.N != g.N || len(g2.Edges) != len(g.Edges) {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}
+
+func FuzzReadDIMACS(f *testing.F) {
+	f.Add("p edge 3 2\ne 1 2 0.5\ne 2 3 1\n")
+	f.Add("c x\np edge 1 0\n")
+	f.Add("p sp 2 1\na 1 2 3\n")
+	f.Add("e 1 2 3\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadDIMACS(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v", err)
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteBinary(&buf, &EdgeList{N: 3, Edges: []Edge{{U: 0, V: 1, W: 1}}})
+	f.Add(buf.Bytes())
+	f.Add([]byte("PMSF1\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		g, err := ReadBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v", err)
+		}
+	})
+}
+
+func FuzzReadMETIS(f *testing.F) {
+	f.Add("2 1\n2\n1\n")
+	f.Add("3 2 001\n2 0.5\n1 0.5 3 1\n2 1\n")
+	f.Add("% c\n1 0\n\n")
+	f.Add("p edge 1 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadMETIS(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v", err)
+		}
+	})
+}

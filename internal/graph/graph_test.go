@@ -1,0 +1,207 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pmsf/internal/rng"
+)
+
+func smallGraph() *EdgeList {
+	return &EdgeList{N: 4, Edges: []Edge{
+		{U: 0, V: 1, W: 1},
+		{U: 1, V: 2, W: 2},
+		{U: 2, V: 3, W: 3},
+		{U: 3, V: 0, W: 4},
+		{U: 1, V: 1, W: 5}, // self-loop
+	}}
+}
+
+func TestValidate(t *testing.T) {
+	if err := smallGraph().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &EdgeList{N: 2, Edges: []Edge{{U: 0, V: 5, W: 1}}}
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	neg := &EdgeList{N: -1}
+	if neg.Validate() == nil {
+		t.Fatal("negative N accepted")
+	}
+	if (&EdgeList{N: 0}).Validate() != nil {
+		t.Fatal("empty graph rejected")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := smallGraph()
+	c := g.Clone()
+	c.Edges[0].W = 99
+	if g.Edges[0].W == 99 {
+		t.Fatal("clone shares storage")
+	}
+	if c.N != g.N || len(c.Edges) != len(g.Edges) {
+		t.Fatal("clone shape wrong")
+	}
+}
+
+func TestBuildAdj(t *testing.T) {
+	g := smallGraph()
+	a := BuildAdj(g)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Self-loop dropped: 4 undirected edges -> 8 arcs.
+	if len(a.Arcs) != 8 {
+		t.Fatalf("arcs = %d, want 8", len(a.Arcs))
+	}
+	if a.M() != 4 {
+		t.Fatalf("M = %d, want 4", a.M())
+	}
+	if a.Degree(0) != 2 || a.Degree(1) != 2 {
+		t.Fatalf("degrees wrong: %d %d", a.Degree(0), a.Degree(1))
+	}
+	// Each arc's EID must point at an edge with matching endpoints.
+	for v := 0; v < a.N; v++ {
+		for _, arc := range a.Adj(int32(v)) {
+			e := g.Edges[arc.EID]
+			if !((e.U == int32(v) && e.V == arc.To) || (e.V == int32(v) && e.U == arc.To)) {
+				t.Fatalf("arc (%d->%d) EID %d mismatches edge %+v", v, arc.To, arc.EID, e)
+			}
+			if e.W != arc.W {
+				t.Fatalf("arc weight %g != edge weight %g", arc.W, e.W)
+			}
+		}
+	}
+}
+
+func TestBuildAdjProperty(t *testing.T) {
+	r := rng.New(1)
+	f := func(seed uint64) bool {
+		n := 2 + int(seed%50)
+		m := int(seed % 200)
+		g := &EdgeList{N: n}
+		for i := 0; i < m; i++ {
+			g.Edges = append(g.Edges, Edge{
+				U: int32(r.Intn(n)), V: int32(r.Intn(n)), W: r.Float64(),
+			})
+		}
+		a := BuildAdj(g)
+		if a.Validate() != nil {
+			return false
+		}
+		// Arc count = 2 × non-self-loop edges.
+		nonLoop := 0
+		for _, e := range g.Edges {
+			if e.U != e.V {
+				nonLoop++
+			}
+		}
+		return len(a.Arcs) == 2*nonLoop
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdjValidateCatchesCorruption(t *testing.T) {
+	a := BuildAdj(smallGraph())
+	a.Off[2] = a.Off[3] + 5
+	if a.Validate() == nil {
+		t.Fatal("non-monotone offsets accepted")
+	}
+	a = BuildAdj(smallGraph())
+	a.Arcs[0].To = 100
+	if a.Validate() == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+	a = BuildAdj(smallGraph())
+	a.Off = a.Off[:2]
+	if a.Validate() == nil {
+		t.Fatal("truncated offsets accepted")
+	}
+}
+
+func TestDirectedWorkList(t *testing.T) {
+	g := smallGraph()
+	wl := DirectedWorkList(g)
+	if len(wl) != 8 { // self-loop dropped, 4 edges × 2 directions
+		t.Fatalf("len = %d, want 8", len(wl))
+	}
+	// Both directions present with identical W and ID.
+	byPair := map[[2]int32]WEdge{}
+	for _, e := range wl {
+		byPair[[2]int32{e.U, e.V}] = e
+	}
+	for _, e := range wl {
+		rev, ok := byPair[[2]int32{e.V, e.U}]
+		if !ok || rev.W != e.W || rev.ID != e.ID {
+			t.Fatalf("missing or inconsistent reverse of %+v", e)
+		}
+	}
+}
+
+func TestComponentCount(t *testing.T) {
+	cases := []struct {
+		g    *EdgeList
+		want int
+	}{
+		{&EdgeList{N: 0}, 0},
+		{&EdgeList{N: 3}, 3},
+		{smallGraph(), 1},
+		{&EdgeList{N: 4, Edges: []Edge{{U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 1}}}, 2},
+		{&EdgeList{N: 2, Edges: []Edge{{U: 0, V: 0, W: 1}}}, 2},
+	}
+	for i, c := range cases {
+		if got := ComponentCount(c.g); got != c.want {
+			t.Errorf("case %d: components = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestForestHelpers(t *testing.T) {
+	g := smallGraph()
+	f := &Forest{EdgeIDs: []int32{0, 2}, Weight: 4, Components: 2}
+	if f.Size() != 2 {
+		t.Fatalf("size %d", f.Size())
+	}
+	edges := f.Edges(g)
+	if edges[0] != g.Edges[0] || edges[1] != g.Edges[2] {
+		t.Fatal("materialized edges wrong")
+	}
+	if w := f.SumWeights(g); w != 4 {
+		t.Fatalf("SumWeights = %g, want 4", w)
+	}
+}
+
+func TestValidateRejectsNaN(t *testing.T) {
+	g := &EdgeList{N: 2, Edges: []Edge{{U: 0, V: 1, W: math.NaN()}}}
+	if g.Validate() == nil {
+		t.Fatal("NaN weight accepted")
+	}
+	inf := &EdgeList{N: 2, Edges: []Edge{{U: 0, V: 1, W: math.Inf(1)}}}
+	if inf.Validate() != nil {
+		t.Fatal("infinite weight rejected (should be allowed)")
+	}
+}
+
+func TestDisjointUnion(t *testing.T) {
+	a := &EdgeList{N: 2, Edges: []Edge{{U: 0, V: 1, W: 1}}}
+	b := &EdgeList{N: 3, Edges: []Edge{{U: 0, V: 2, W: 2}}}
+	u := DisjointUnion(a, b)
+	if u.N != 5 || len(u.Edges) != 2 {
+		t.Fatalf("shape n=%d m=%d", u.N, len(u.Edges))
+	}
+	if u.Edges[1].U != 2 || u.Edges[1].V != 4 {
+		t.Fatalf("second graph not shifted: %+v", u.Edges[1])
+	}
+	// a is one component; b has {0,2} joined and vertex 1 isolated.
+	if ComponentCount(u) != 3 {
+		t.Fatalf("components %d", ComponentCount(u))
+	}
+	if DisjointUnion().N != 0 {
+		t.Fatal("empty union broken")
+	}
+}

@@ -1,0 +1,163 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// File formats. The binary format is the library's native format:
+//
+//	magic "PMSF1\n" | uint64 n | uint64 m | m × (int32 u, int32 v, float64 w)
+//
+// little-endian throughout. The text format is one header line "n m"
+// followed by m lines "u v w", compatible with quick shell inspection and
+// easily produced from DIMACS-style inputs.
+
+const binaryMagic = "PMSF1\n"
+
+// WriteBinary writes g in the native binary format.
+func WriteBinary(w io.Writer, g *EdgeList) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(g.N))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(g.Edges)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [16]byte
+	for _, e := range g.Edges {
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(e.U))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(e.V))
+		binary.LittleEndian.PutUint64(rec[8:16], math.Float64bits(e.W))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a graph in the native binary format.
+func ReadBinary(r io.Reader) (*EdgeList, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(hdr[0:8])
+	m := binary.LittleEndian.Uint64(hdr[8:16])
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: vertex count %d exceeds int32", n)
+	}
+	// Cap the preallocation: a corrupt header must not be able to demand
+	// an arbitrarily large up-front allocation. The slice grows naturally
+	// for genuinely large files.
+	const preallocCap = 1 << 22
+	prealloc := m
+	if prealloc > preallocCap {
+		prealloc = preallocCap
+	}
+	g := &EdgeList{N: int(n), Edges: make([]Edge, 0, prealloc)}
+	var rec [16]byte
+	for i := uint64(0); i < m; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		g.Edges = append(g.Edges, Edge{
+			U: int32(binary.LittleEndian.Uint32(rec[0:4])),
+			V: int32(binary.LittleEndian.Uint32(rec[4:8])),
+			W: math.Float64frombits(binary.LittleEndian.Uint64(rec[8:16])),
+		})
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// WriteText writes g in the text format: "n m\n" then "u v w" per edge.
+func WriteText(w io.Writer, g *EdgeList) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N, len(g.Edges)); err != nil {
+		return err
+	}
+	for _, e := range g.Edges {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", e.U, e.V, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText reads the text format. Blank lines and lines starting with '#'
+// or 'c' (DIMACS comments) are skipped.
+func ReadText(r io.Reader) (*EdgeList, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	g := &EdgeList{N: -1}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == 'c' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if g.N < 0 {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: want header \"n m\"", lineNo)
+			}
+			n, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+			m, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+			g.N = n
+			g.Edges = make([]Edge, 0, m)
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: want \"u v w\"", lineNo)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+		w, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+		g.Edges = append(g.Edges, Edge{U: int32(u), V: int32(v), W: w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g.N < 0 {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pmsf/internal/rng"
+)
+
+func randomEL(n, m int, seed uint64) *EdgeList {
+	r := rng.New(seed)
+	g := &EdgeList{N: n}
+	for i := 0; i < m; i++ {
+		g.Edges = append(g.Edges, Edge{
+			U: int32(r.Intn(n)), V: int32(r.Intn(n)), W: r.Float64(),
+		})
+	}
+	return g
+}
+
+func graphsEqual(a, b *EdgeList) bool {
+	if a.N != b.N || len(a.Edges) != len(b.Edges) {
+		return false
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, g := range []*EdgeList{
+		{N: 0},
+		{N: 5},
+		randomEL(100, 300, 1),
+	} {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graphsEqual(g, got) {
+			t.Fatal("binary round trip mismatch")
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	g := randomEL(50, 120, 2)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("text round trip mismatch")
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a graph")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Truncated edge section.
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, randomEL(10, 5, 3)); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-8]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+}
+
+func TestReadTextComments(t *testing.T) {
+	in := `# a comment
+c DIMACS-style comment
+
+3 2
+0 1 0.5
+1 2 1.5
+`
+	g, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || len(g.Edges) != 2 || g.Edges[1].W != 1.5 {
+		t.Fatalf("parsed %+v", g)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"",               // empty
+		"3\n",            // bad header
+		"3 1\n0 1\n",     // bad edge arity
+		"3 1\nx 1 0.5\n", // bad vertex
+		"3 1\n0 y 0.5\n", // bad vertex
+		"3 1\n0 1 z\n",   // bad weight
+		"2 1\n0 7 0.5\n", // out of range (Validate)
+		"-1 0\n",         // negative N
+	}
+	for i, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}

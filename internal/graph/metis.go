@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// METIS graph format support. The METIS format is adjacency-based: a
+// header "n m [fmt]" followed by one line per vertex listing its
+// neighbors (1-indexed); with fmt containing the edge-weight bit ("1" in
+// the last position, e.g. "1" or "001"), each neighbor is followed by
+// the edge weight. Every undirected edge appears in both endpoint
+// lines; ReadMETIS keeps one copy.
+
+// ReadMETIS reads a graph in METIS format. Vertex weights (fmt "10" /
+// "11") are skipped. Comment lines start with '%'.
+func ReadMETIS(r io.Reader) (*EdgeList, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var g *EdgeList
+	expectM := 0
+	hasEdgeWeights := false
+	hasVertexWeights := false
+	vertex := int32(0)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if g == nil {
+			if len(fields) < 2 || len(fields) > 4 {
+				return nil, fmt.Errorf("graph: line %d: want METIS header \"n m [fmt [ncon]]\"", lineNo)
+			}
+			n, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+			m, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+			if len(fields) >= 3 {
+				f := fields[2]
+				hasEdgeWeights = strings.HasSuffix(f, "1")
+				hasVertexWeights = len(f) >= 2 && f[len(f)-2] == '1'
+			}
+			g = &EdgeList{N: n, Edges: make([]Edge, 0, m)}
+			expectM = m
+			continue
+		}
+		if int(vertex) >= g.N {
+			if line == "" {
+				continue
+			}
+			return nil, fmt.Errorf("graph: line %d: more vertex lines than n=%d", lineNo, g.N)
+		}
+		i := 0
+		if hasVertexWeights && len(fields) > 0 {
+			i = 1 // skip the vertex weight
+		}
+		for i < len(fields) {
+			nb, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+			if nb < 1 || int(nb) > g.N {
+				return nil, fmt.Errorf("graph: line %d: neighbor %d out of range [1,%d]", lineNo, nb, g.N)
+			}
+			i++
+			w := 1.0
+			if hasEdgeWeights {
+				if i >= len(fields) {
+					return nil, fmt.Errorf("graph: line %d: missing edge weight", lineNo)
+				}
+				w, err = strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+				}
+				i++
+			}
+			to := int32(nb - 1)
+			// Keep each undirected edge once (from its smaller endpoint);
+			// self-loops are kept as written.
+			if vertex <= to {
+				g.Edges = append(g.Edges, Edge{U: vertex, V: to, W: w})
+			}
+		}
+		vertex++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: empty METIS input")
+	}
+	if int(vertex) != g.N {
+		return nil, fmt.Errorf("graph: %d vertex lines, header says %d", vertex, g.N)
+	}
+	if len(g.Edges) != expectM {
+		return nil, fmt.Errorf("graph: parsed %d edges, header says %d", len(g.Edges), expectM)
+	}
+	return g, nil
+}
+
+// WriteMETIS writes g in METIS format with edge weights (fmt "001").
+// Self-loops are not representable in METIS and cause an error.
+func WriteMETIS(w io.Writer, g *EdgeList) error {
+	adj := make([][]AdjEntry, g.N)
+	for id, e := range g.Edges {
+		if e.U == e.V {
+			return fmt.Errorf("graph: METIS cannot represent self-loop edge %d", id)
+		}
+		adj[e.U] = append(adj[e.U], AdjEntry{To: e.V, W: e.W})
+		adj[e.V] = append(adj[e.V], AdjEntry{To: e.U, W: e.W})
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "%d %d 001\n", g.N, len(g.Edges)); err != nil {
+		return err
+	}
+	for v := 0; v < g.N; v++ {
+		for i, a := range adj[v] {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%d %g", a.To+1, a.W); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestMETISRoundTrip(t *testing.T) {
+	g := randomEL(40, 120, 13)
+	// METIS cannot hold self-loops or (faithfully) parallel edges; strip
+	// loops and dedupe first.
+	seen := map[[2]int32]bool{}
+	var edges []Edge
+	for _, e := range g.Edges {
+		if e.U == e.V {
+			continue
+		}
+		a, b := e.U, e.V
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int32{a, b}] {
+			continue
+		}
+		seen[[2]int32{a, b}] = true
+		edges = append(edges, Edge{U: a, V: b, W: e.W})
+	}
+	clean := &EdgeList{N: g.N, Edges: edges}
+
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, clean); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != clean.N || len(got.Edges) != len(clean.Edges) {
+		t.Fatalf("shape n=%d m=%d, want n=%d m=%d", got.N, len(got.Edges), clean.N, len(clean.Edges))
+	}
+	// Edge multisets match (order may differ).
+	key := func(e Edge) [3]float64 { return [3]float64{float64(e.U), float64(e.V), e.W} }
+	a := make([][3]float64, len(clean.Edges))
+	b := make([][3]float64, len(got.Edges))
+	for i := range clean.Edges {
+		a[i] = key(clean.Edges[i])
+		b[i] = key(got.Edges[i])
+	}
+	lessK := func(x, y [3]float64) bool {
+		for i := 0; i < 3; i++ {
+			if x[i] != y[i] {
+				return x[i] < y[i]
+			}
+		}
+		return false
+	}
+	sort.Slice(a, func(i, j int) bool { return lessK(a[i], a[j]) })
+	sort.Slice(b, func(i, j int) bool { return lessK(b[i], b[j]) })
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReadMETISUnweighted(t *testing.T) {
+	in := `% a comment
+4 3
+2 3
+1
+1 4
+3
+`
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 4 || len(g.Edges) != 3 {
+		t.Fatalf("shape n=%d m=%d", g.N, len(g.Edges))
+	}
+	for _, e := range g.Edges {
+		if e.W != 1 {
+			t.Fatalf("unweighted edge got weight %g", e.W)
+		}
+	}
+}
+
+func TestReadMETISVertexWeights(t *testing.T) {
+	// fmt "011": vertex weights AND edge weights.
+	in := `3 2 011
+5 2 1.5
+7 1 1.5 3 2.5
+9 2 2.5
+`
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Edges) != 2 {
+		t.Fatalf("m = %d", len(g.Edges))
+	}
+	if g.Edges[0].W != 1.5 || g.Edges[1].W != 2.5 {
+		t.Fatalf("weights %g %g", g.Edges[0].W, g.Edges[1].W)
+	}
+}
+
+func TestReadMETISErrors(t *testing.T) {
+	cases := []string{
+		"",                      // empty
+		"2\n",                   // short header
+		"x 1\n1\n2\n",           // bad n
+		"2 z\n2\n1\n",           // bad m
+		"2 1\n2\n1\n3\n",        // too many vertex lines (3 out of range triggers first)
+		"2 1\n5\n1\n",           // neighbor out of range
+		"2 1\n2\n",              // too few vertex lines
+		"2 2\n2\n1\n",           // edge count mismatch
+		"2 1 001\n2\n1 0.5\n",   // missing weight on first line
+		"2 1 001\n2 q\n1 0.5\n", // bad weight
+	}
+	for i, in := range cases {
+		if _, err := ReadMETIS(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}
+
+func TestWriteMETISRejectsSelfLoop(t *testing.T) {
+	g := &EdgeList{N: 2, Edges: []Edge{{U: 0, V: 0, W: 1}}}
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}

@@ -1,0 +1,83 @@
+package graph
+
+import "sort"
+
+// Stats summarizes a graph's structure: the quantities the paper's
+// Section 5.1 uses to characterize its input families (density, degree
+// distribution, component structure).
+type Stats struct {
+	N, M       int
+	SelfLoops  int
+	Components int
+	Isolated   int // degree-0 vertices
+	MinDegree  int
+	MaxDegree  int
+	AvgDegree  float64
+	// DegreeHistogram[d] counts vertices of degree d for d < len-1; the
+	// final bucket counts everything at or above its index.
+	DegreeHistogram []int64
+	MinWeight       Weight
+	MaxWeight       Weight
+	TotalWeight     Weight
+	// MedianDegree is the 50th-percentile degree.
+	MedianDegree int
+}
+
+// ComputeStats calculates Stats in one pass plus a component count.
+func ComputeStats(g *EdgeList) Stats {
+	s := Stats{N: g.N, M: len(g.Edges)}
+	deg := make([]int32, g.N)
+	first := true
+	for _, e := range g.Edges {
+		if e.U == e.V {
+			s.SelfLoops++
+		} else {
+			deg[e.U]++
+			deg[e.V]++
+		}
+		if first {
+			s.MinWeight, s.MaxWeight = e.W, e.W
+			first = false
+		}
+		if e.W < s.MinWeight {
+			s.MinWeight = e.W
+		}
+		if e.W > s.MaxWeight {
+			s.MaxWeight = e.W
+		}
+		s.TotalWeight += e.W
+	}
+	const histMax = 16
+	s.DegreeHistogram = make([]int64, histMax+1)
+	if g.N > 0 {
+		s.MinDegree = int(deg[0])
+	}
+	var sum int64
+	for _, d := range deg {
+		di := int(d)
+		if di == 0 {
+			s.Isolated++
+		}
+		if di < s.MinDegree {
+			s.MinDegree = di
+		}
+		if di > s.MaxDegree {
+			s.MaxDegree = di
+		}
+		if di >= histMax {
+			s.DegreeHistogram[histMax]++
+		} else {
+			s.DegreeHistogram[di]++
+		}
+		sum += int64(di)
+	}
+	if g.N > 0 {
+		s.AvgDegree = float64(sum) / float64(g.N)
+		sorted := make([]int32, len(deg))
+		copy(sorted, deg)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		s.MedianDegree = int(sorted[len(sorted)/2])
+	}
+	s.Components = ComponentCount(g)
+	return s
+}

@@ -1,0 +1,60 @@
+package graph
+
+import "testing"
+
+func TestComputeStats(t *testing.T) {
+	g := &EdgeList{N: 5, Edges: []Edge{
+		{U: 0, V: 1, W: 1},
+		{U: 1, V: 2, W: 2},
+		{U: 3, V: 3, W: 9}, // self-loop
+	}}
+	s := ComputeStats(g)
+	if s.N != 5 || s.M != 3 || s.SelfLoops != 1 {
+		t.Fatalf("shape %+v", s)
+	}
+	if s.Components != 3 { // {0,1,2}, {3}, {4}
+		t.Fatalf("components %d", s.Components)
+	}
+	if s.Isolated != 2 { // 3 (self-loop only) and 4
+		t.Fatalf("isolated %d", s.Isolated)
+	}
+	if s.MinDegree != 0 || s.MaxDegree != 2 {
+		t.Fatalf("degrees %d..%d", s.MinDegree, s.MaxDegree)
+	}
+	if s.AvgDegree != 4.0/5 {
+		t.Fatalf("avg %g", s.AvgDegree)
+	}
+	if s.MinWeight != 1 || s.MaxWeight != 9 || s.TotalWeight != 12 {
+		t.Fatalf("weights %g %g %g", s.MinWeight, s.MaxWeight, s.TotalWeight)
+	}
+	// Degrees: v0=1, v1=2, v2=1, v3=0 (self-loop excluded), v4=0.
+	if s.DegreeHistogram[0] != 2 || s.DegreeHistogram[1] != 2 || s.DegreeHistogram[2] != 1 {
+		t.Fatalf("histogram %v", s.DegreeHistogram)
+	}
+	if s.MedianDegree != 1 {
+		t.Fatalf("median %d", s.MedianDegree)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(&EdgeList{N: 0})
+	if s.N != 0 || s.M != 0 || s.Components != 0 || s.AvgDegree != 0 {
+		t.Fatalf("empty stats %+v", s)
+	}
+}
+
+func TestComputeStatsHistogramOverflowBucket(t *testing.T) {
+	// A star: center has degree 40 (>= the last bucket).
+	g := &EdgeList{N: 41}
+	for i := int32(1); i <= 40; i++ {
+		g.Edges = append(g.Edges, Edge{U: 0, V: i, W: 1})
+	}
+	s := ComputeStats(g)
+	last := s.DegreeHistogram[len(s.DegreeHistogram)-1]
+	if last != 1 {
+		t.Fatalf("overflow bucket %d, want 1", last)
+	}
+	if s.MaxDegree != 40 {
+		t.Fatalf("max degree %d", s.MaxDegree)
+	}
+}

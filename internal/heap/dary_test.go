@@ -1,0 +1,121 @@
+package heap
+
+import (
+	"fmt"
+	"testing"
+
+	"pmsf/internal/rng"
+)
+
+var _ PQ = (*DaryHeap)(nil)
+
+func TestDaryMatchesBinary(t *testing.T) {
+	for _, d := range []int{2, 3, 4, 8} {
+		t.Run(fmt.Sprintf("d=%d", d), func(t *testing.T) {
+			const n = 300
+			r := rng.New(uint64(d))
+			bin := New(n)
+			dary := NewDary(d, n)
+			for step := 0; step < 30_000; step++ {
+				switch r.Intn(4) {
+				case 0, 1:
+					item := int32(r.Intn(n))
+					if !bin.Contains(item) {
+						k := r.Float64()
+						bin.Push(item, k, int32(step))
+						dary.Push(item, k, int32(step))
+					}
+				case 2:
+					item := int32(r.Intn(n))
+					if bin.Contains(item) {
+						k := bin.Key(item) * r.Float64()
+						if bin.DecreaseKey(item, k, int32(step)) != dary.DecreaseKey(item, k, int32(step)) {
+							t.Fatalf("step %d: decrease results differ", step)
+						}
+					}
+				case 3:
+					if bin.Len() > 0 {
+						i1, k1, p1 := bin.PopMin()
+						i2, k2, p2 := dary.PopMin()
+						if i1 != i2 || k1 != k2 || p1 != p2 {
+							t.Fatalf("step %d: pops differ", step)
+						}
+					}
+				}
+				if bin.Len() != dary.Len() {
+					t.Fatalf("step %d: lengths differ", step)
+				}
+			}
+		})
+	}
+}
+
+func TestDaryBasics(t *testing.T) {
+	h := NewDary(4, 8)
+	for i := int32(7); i >= 0; i-- {
+		h.Push(i, float64(i), i*10)
+	}
+	for want := int32(0); want < 8; want++ {
+		item, key, pay := h.PopMin()
+		if item != want || key != float64(want) || pay != want*10 {
+			t.Fatalf("pop (%d,%g,%d)", item, key, pay)
+		}
+	}
+}
+
+func TestDaryReset(t *testing.T) {
+	h := NewDary(4, 4)
+	h.Push(0, 1, 0)
+	h.Push(1, 2, 0)
+	h.Reset()
+	if h.Len() != 0 || h.Contains(0) || h.Contains(1) {
+		t.Fatal("reset broken")
+	}
+	h.Push(2, 5, 3)
+	if item, _, pay := h.PopMin(); item != 2 || pay != 3 {
+		t.Fatal("unusable after reset")
+	}
+}
+
+func TestDaryPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"d=1":       func() { NewDary(1, 4) },
+		"dup push":  func() { h := NewDary(4, 2); h.Push(0, 1, 0); h.Push(0, 2, 0) },
+		"empty pop": func() { NewDary(4, 1).PopMin() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDaryAccessorsAndPushOrDecrease(t *testing.T) {
+	h := NewDary(4, 4)
+	h.PushOrDecrease(1, 3.5, 9)
+	if h.Key(1) != 3.5 || h.Payload(1) != 9 {
+		t.Fatalf("accessors (%g,%d)", h.Key(1), h.Payload(1))
+	}
+	h.PushOrDecrease(1, 1.5, 11) // decrease path
+	h.PushOrDecrease(1, 9.0, 12) // no-op path
+	item, key, pay := h.PopMin()
+	if item != 1 || key != 1.5 || pay != 11 {
+		t.Fatalf("pop (%d,%g,%d)", item, key, pay)
+	}
+}
+
+func TestDaryTieBreak(t *testing.T) {
+	h := NewDary(3, 6)
+	for i := int32(5); i >= 0; i-- {
+		h.Push(i, 1.0, 0)
+	}
+	for want := int32(0); want < 6; want++ {
+		if item, _, _ := h.PopMin(); item != want {
+			t.Fatalf("tie order broken: got %d want %d", item, want)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package heap
+
+import (
+	"testing"
+
+	"pmsf/internal/rng"
+)
+
+// PQ is the common interface of the two heap implementations, used to
+// run identical test workloads against both.
+type PQ interface {
+	Len() int
+	Contains(int32) bool
+	Push(int32, float64, int32)
+	DecreaseKey(int32, float64, int32) bool
+	PushOrDecrease(int32, float64, int32)
+	PopMin() (int32, float64, int32)
+	Reset()
+}
+
+var (
+	_ PQ = (*IndexedHeap)(nil)
+	_ PQ = (*PairingHeap)(nil)
+)
+
+func TestPairingBasics(t *testing.T) {
+	h := NewPairing(10)
+	keys := []float64{5, 1, 9, 3, 7}
+	for i, k := range keys {
+		h.Push(int32(i), k, int32(100+i))
+	}
+	want := []int32{1, 3, 0, 4, 2}
+	for _, w := range want {
+		item, key, pay := h.PopMin()
+		if item != w || key != keys[w] || pay != 100+w {
+			t.Fatalf("pop = (%d,%g,%d), want (%d,%g,%d)", item, key, pay, w, keys[w], 100+w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatal("not empty")
+	}
+}
+
+func TestPairingDecreaseKey(t *testing.T) {
+	h := NewPairing(5)
+	for i := int32(0); i < 5; i++ {
+		h.Push(i, float64(10+i), 0)
+	}
+	if !h.DecreaseKey(4, 1, 99) {
+		t.Fatal("decrease rejected")
+	}
+	if h.DecreaseKey(4, 100, 0) {
+		t.Fatal("increase accepted")
+	}
+	item, key, pay := h.PopMin()
+	if item != 4 || key != 1 || pay != 99 {
+		t.Fatalf("pop = (%d,%g,%d)", item, key, pay)
+	}
+	// Decrease the root: no structural change needed but key must move.
+	if !h.DecreaseKey(0, 0.5, 7) {
+		t.Fatal("root decrease rejected")
+	}
+	item, key, _ = h.PopMin()
+	if item != 0 || key != 0.5 {
+		t.Fatalf("root pop (%d,%g)", item, key)
+	}
+}
+
+func TestPairingDuplicatePushPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	h := NewPairing(2)
+	h.Push(1, 1, 0)
+	h.Push(1, 2, 0)
+}
+
+func TestPairingPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewPairing(1).PopMin()
+}
+
+func TestPairingReset(t *testing.T) {
+	h := NewPairing(6)
+	for i := int32(0); i < 6; i++ {
+		h.Push(i, float64(i), 0)
+	}
+	h.PopMin() // detach one first, so Reset must clear a non-trivial forest
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatal("reset left items")
+	}
+	for i := int32(0); i < 6; i++ {
+		if h.Contains(i) {
+			t.Fatalf("item %d contained after reset", i)
+		}
+	}
+	h.Push(3, 1, 5)
+	item, _, pay := h.PopMin()
+	if item != 3 || pay != 5 {
+		t.Fatal("unusable after reset")
+	}
+}
+
+// Both heap implementations must behave identically on a long random
+// mixed workload (push / decrease / pop with deterministic ties).
+func TestPairingMatchesBinary(t *testing.T) {
+	const n = 400
+	r := rng.New(3)
+	bin := New(n)
+	pair := NewPairing(n)
+	for step := 0; step < 50_000; step++ {
+		switch r.Intn(4) {
+		case 0, 1:
+			item := int32(r.Intn(n))
+			if !bin.Contains(item) {
+				k := r.Float64()
+				bin.Push(item, k, int32(step))
+				pair.Push(item, k, int32(step))
+			}
+		case 2:
+			item := int32(r.Intn(n))
+			if bin.Contains(item) {
+				k := bin.Key(item) * r.Float64()
+				db := bin.DecreaseKey(item, k, int32(step))
+				dp := pair.DecreaseKey(item, k, int32(step))
+				if db != dp {
+					t.Fatalf("step %d: decrease results differ", step)
+				}
+			}
+		case 3:
+			if bin.Len() > 0 {
+				i1, k1, p1 := bin.PopMin()
+				i2, k2, p2 := pair.PopMin()
+				if i1 != i2 || k1 != k2 || p1 != p2 {
+					t.Fatalf("step %d: pops differ: (%d,%g,%d) vs (%d,%g,%d)",
+						step, i1, k1, p1, i2, k2, p2)
+				}
+			}
+		}
+		if bin.Len() != pair.Len() {
+			t.Fatalf("step %d: lengths differ", step)
+		}
+	}
+}
+
+func TestPairingPushOrDecrease(t *testing.T) {
+	h := NewPairing(2)
+	h.PushOrDecrease(0, 10, 1)
+	h.PushOrDecrease(0, 5, 2)
+	h.PushOrDecrease(0, 50, 3)
+	item, key, pay := h.PopMin()
+	if item != 0 || key != 5 || pay != 2 {
+		t.Fatalf("pop = (%d,%g,%d)", item, key, pay)
+	}
+}
+
+func TestPairingAccessors(t *testing.T) {
+	h := NewPairing(3)
+	h.Push(1, 2.5, 42)
+	if h.Key(1) != 2.5 || h.Payload(1) != 42 {
+		t.Fatalf("accessors (%g,%d)", h.Key(1), h.Payload(1))
+	}
+}

@@ -1,0 +1,152 @@
+// Package model implements the Helman–JáJá SMP complexity model analysis
+// of Section 3 of the paper. Under the model an algorithm's cost is the
+// pair T(n,p) = <ME ; TC>, where ME counts non-contiguous memory accesses
+// (the dominant cost on SMPs) and TC is computation time. The package
+// evaluates the paper's closed forms (Equations 1-8) so the experiment
+// harness can put predicted and measured behaviour side by side, and so
+// tests can check the paper's analytical claims (e.g. Bor-AL's first
+// iteration is cheaper than Bor-EL's, Eq. 5 vs Eq. 6).
+package model
+
+import "math"
+
+// Cost is one <ME ; TC> pair. Both components are expressed in abstract
+// units (memory accesses and operations); only ratios between algorithms
+// are meaningful.
+type Cost struct {
+	ME float64 // non-contiguous memory accesses
+	TC float64 // computation
+}
+
+// Add returns the componentwise sum.
+func (c Cost) Add(o Cost) Cost { return Cost{c.ME + o.ME, c.TC + o.TC} }
+
+// Params are the model parameters: problem size, processors, and the two
+// machine constants of the sample-sort analysis (Eq. 2): c relates cache
+// line transfers to accesses and z is the sampling ratio base.
+type Params struct {
+	N, M float64 // vertices, undirected edges
+	P    float64 // processors
+	C    float64 // cache constant c (paper: machine dependent; default 1)
+	Z    float64 // sampling base z  (paper: related to sampling ratio; default 2)
+}
+
+// Defaults fills in the machine constants when unset.
+func (pr Params) defaults() Params {
+	if pr.C == 0 {
+		pr.C = 1
+	}
+	if pr.Z < 2 {
+		pr.Z = 2
+	}
+	if pr.P < 1 {
+		pr.P = 1
+	}
+	return pr
+}
+
+func log2(x float64) float64 {
+	if x < 2 {
+		return 1
+	}
+	return math.Log2(x)
+}
+
+// FindMinConnect is Eq. 1: the aggregate find-min + connect-components
+// cost of one Bor-EL iteration,
+// <(n + n log n)/p ; O((m + n log n)/p)>.
+func FindMinConnect(pr Params) Cost {
+	pr = pr.defaults()
+	return Cost{
+		ME: (pr.N + pr.N*log2(pr.N)) / pr.P,
+		TC: (pr.M + pr.N*log2(pr.N)) / pr.P,
+	}
+}
+
+// SampleSort is Eq. 2: the parallel sample sort of a list of length l,
+// <(4 + 2c·log(l/p)/log z)·l/p ; O((l/p)·log l)>.
+func SampleSort(l float64, pr Params) Cost {
+	pr = pr.defaults()
+	return Cost{
+		ME: (4 + 2*pr.C*log2(l/pr.P)/log2(pr.Z)) * l / pr.P,
+		TC: l / pr.P * log2(l),
+	}
+}
+
+// CompactEL is Eq. 3: the Bor-EL compact-graph cost for an iteration,
+// the sample sort of the 2m-long edge list plus data-structure work.
+func CompactEL(pr Params) Cost {
+	pr = pr.defaults()
+	return SampleSort(2*pr.M, pr)
+}
+
+// BorEL is Eq. 4: total Bor-EL cost over log n iterations with m held at
+// its initial value (the paper's justified upper bound; see Table 1),
+// <(8m + n + n log n)/p + 4mc·log(2m/p)/(p log z))·log n ; O((m/p)·log m·log n)>.
+func BorEL(pr Params) Cost {
+	pr = pr.defaults()
+	iters := log2(pr.N)
+	return Cost{
+		ME: ((8*pr.M+pr.N+pr.N*log2(pr.N))/pr.P +
+			4*pr.M*pr.C*log2(2*pr.M/pr.P)/(pr.P*log2(pr.Z))) * iters,
+		TC: pr.M / pr.P * log2(pr.M) * iters,
+	}
+}
+
+// BorALFirstIter is Eq. 5: the first-iteration cost of Bor-AL,
+// <(8n + 5m + n log n)/p + (2nc·log(n/p) + 2mc·log(m/n))/(p log z) ;
+//
+//	O((n/p)·log m + (m/p)·log(m/n))>.
+func BorALFirstIter(pr Params) Cost {
+	pr = pr.defaults()
+	mn := pr.M / pr.N
+	if mn < 2 {
+		mn = 2
+	}
+	return Cost{
+		ME: (8*pr.N+5*pr.M+pr.N*log2(pr.N))/pr.P +
+			(2*pr.N*pr.C*log2(pr.N/pr.P)+2*pr.M*pr.C*log2(mn))/(pr.P*log2(pr.Z)),
+		TC: pr.N/pr.P*log2(pr.M) + pr.M/pr.P*log2(mn),
+	}
+}
+
+// BorELFirstIter is Eq. 6: the first-iteration cost of Bor-EL,
+// <(8m + n + n log n)/p + 4mc·log(2m/p)/(p log z) ; O((m/p)·log m)>.
+func BorELFirstIter(pr Params) Cost {
+	pr = pr.defaults()
+	return Cost{
+		ME: (8*pr.M+pr.N+pr.N*log2(pr.N))/pr.P +
+			4*pr.M*pr.C*log2(2*pr.M/pr.P)/(pr.P*log2(pr.Z)),
+		TC: pr.M / pr.P * log2(pr.M),
+	}
+}
+
+// FALCompact is Eq. 7: the aggregate Bor-FAL compact-graph cost across
+// all iterations, TC = O((n log n)/p) and ME <= 8n/p + 4cn·log(n/p)/(p log z).
+func FALCompact(pr Params) Cost {
+	pr = pr.defaults()
+	return Cost{
+		ME: 8*pr.N/pr.P + 4*pr.C*pr.N*log2(pr.N/pr.P)/(pr.P*log2(pr.Z)),
+		TC: pr.N * log2(pr.N) / pr.P,
+	}
+}
+
+// BorFAL is Eq. 8: the total Bor-FAL cost,
+// <(8n + 2n log n + m log n)/p + 4cn·log(n/p)/(p log z) ; O((m+n)/p·log n)>.
+func BorFAL(pr Params) Cost {
+	pr = pr.defaults()
+	return Cost{
+		ME: (8*pr.N+2*pr.N*log2(pr.N)+pr.M*log2(pr.N))/pr.P +
+			4*pr.C*pr.N*log2(pr.N/pr.P)/(pr.P*log2(pr.Z)),
+		TC: (pr.M + pr.N) / pr.P * log2(pr.N),
+	}
+}
+
+// PredictedIterations returns the model's iteration bound for Borůvka:
+// the vertex count at least halves every iteration, so ceil(log2 n).
+func PredictedIterations(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}

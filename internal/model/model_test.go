@@ -1,0 +1,113 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func params(n, m, p float64) Params { return Params{N: n, M: m, P: p} }
+
+// The paper's Section 3 conclusion: Bor-AL's first iteration is cheaper
+// than Bor-EL's (the "bucketing" saves comparisons between edges with no
+// common vertex). The model must reproduce this for every sparse regime.
+func TestALBeatsELFirstIteration(t *testing.T) {
+	for _, n := range []float64{1e4, 1e5, 1e6} {
+		for _, ratio := range []float64{2, 4, 6, 10, 20} {
+			for _, p := range []float64{1, 2, 4, 8} {
+				pr := params(n, ratio*n, p)
+				al, el := BorALFirstIter(pr), BorELFirstIter(pr)
+				if al.ME >= el.ME {
+					t.Errorf("n=%g m/n=%g p=%g: ME(AL)=%g >= ME(EL)=%g",
+						n, ratio, p, al.ME, el.ME)
+				}
+			}
+		}
+	}
+}
+
+// Eq. 7/8: Bor-FAL's total cost beats Bor-EL's total (Eq. 4) on sparse
+// graphs — the compact-graph step no longer pays per-edge sorting each
+// iteration.
+func TestFALBeatsELTotal(t *testing.T) {
+	for _, n := range []float64{1e4, 1e6} {
+		for _, ratio := range []float64{4, 6, 10, 20} {
+			pr := params(n, ratio*n, 8)
+			fal, el := BorFAL(pr), BorEL(pr)
+			if fal.ME >= el.ME {
+				t.Errorf("n=%g m/n=%g: ME(FAL)=%g >= ME(EL)=%g", n, ratio, fal.ME, el.ME)
+			}
+			if fal.TC >= el.TC {
+				t.Errorf("n=%g m/n=%g: TC(FAL)=%g >= TC(EL)=%g", n, ratio, fal.TC, el.TC)
+			}
+		}
+	}
+}
+
+// Costs scale down with p (the model's 1/p work terms).
+func TestMonotoneInP(t *testing.T) {
+	forms := map[string]func(Params) Cost{
+		"FindMinConnect": FindMinConnect,
+		"CompactEL":      CompactEL,
+		"BorEL":          BorEL,
+		"BorALFirstIter": BorALFirstIter,
+		"BorELFirstIter": BorELFirstIter,
+		"FALCompact":     FALCompact,
+		"BorFAL":         BorFAL,
+	}
+	for name, f := range forms {
+		prev := f(params(1e5, 6e5, 1))
+		for _, p := range []float64{2, 4, 8, 16} {
+			cur := f(params(1e5, 6e5, p))
+			if cur.ME >= prev.ME || cur.TC > prev.TC {
+				t.Errorf("%s: cost did not decrease from p/2 to p=%g", name, p)
+			}
+			prev = cur
+		}
+	}
+}
+
+// Costs grow with problem size.
+func TestMonotoneInSize(t *testing.T) {
+	small := BorEL(params(1e4, 6e4, 8))
+	big := BorEL(params(1e6, 6e6, 8))
+	if big.ME <= small.ME || big.TC <= small.TC {
+		t.Error("BorEL cost not increasing in size")
+	}
+}
+
+func TestSampleSortPositive(t *testing.T) {
+	f := func(raw uint32) bool {
+		l := float64(raw%1_000_000) + 2
+		c := SampleSort(l, params(1e5, 6e5, 4))
+		return c.ME > 0 && c.TC > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	// Zero machine constants and p are defaulted, not divide-by-zero.
+	c := BorEL(Params{N: 1000, M: 6000})
+	if c.ME <= 0 || c.TC <= 0 {
+		t.Fatalf("defaulted params produced %+v", c)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	got := Cost{1, 2}.Add(Cost{10, 20})
+	if got != (Cost{11, 22}) {
+		t.Fatalf("Add = %+v", got)
+	}
+}
+
+func TestPredictedIterations(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := PredictedIterations(c.n); got != c.want {
+			t.Errorf("PredictedIterations(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package mstbc
+
+import (
+	"testing"
+
+	"pmsf/internal/gen"
+	"pmsf/internal/graph"
+	"pmsf/internal/verify"
+)
+
+// NoPermute (the ablation toggle) must not affect correctness.
+func TestNoPermuteCorrect(t *testing.T) {
+	g := gen.Random(2000, 8000, 1)
+	for _, p := range []int{1, 4} {
+		f, _ := Run(g, Options{Workers: p, NoPermute: true, BaseSize: 32, Seed: 3})
+		if err := verify.Full(g, f); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+// Stats must be coherent: levels' N decrease, trees+collisions counted,
+// base-case sizes recorded, and every vertex of a level accounted for.
+func TestStatsCoherent(t *testing.T) {
+	g := gen.Random(4000, 16000, 2)
+	f, stats := Run(g, Options{Workers: 4, BaseSize: 64, Stats: true, Seed: 5})
+	if err := verify.Full(g, f); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers != 4 {
+		t.Fatalf("workers = %d", stats.Workers)
+	}
+	if len(stats.Levels) == 0 {
+		t.Fatal("no levels recorded")
+	}
+	prevN := g.N + 1
+	for i, lv := range stats.Levels {
+		if lv.N >= prevN {
+			t.Fatalf("level %d: N %d did not decrease from %d", i, lv.N, prevN)
+		}
+		prevN = lv.N
+		if lv.Trees <= 0 {
+			t.Fatalf("level %d: %d trees", i, lv.Trees)
+		}
+		if lv.Visited > int64(lv.N) {
+			t.Fatalf("level %d: visited %d > N %d", i, lv.Visited, lv.N)
+		}
+		if lv.M <= 0 {
+			t.Fatalf("level %d: M = %d", i, lv.M)
+		}
+	}
+	if stats.SeqBaseN > 64 {
+		t.Fatalf("sequential base ran at n=%d > nb=64", stats.SeqBaseN)
+	}
+	if stats.TotalTime <= 0 {
+		t.Fatal("total time not recorded")
+	}
+}
+
+// With a huge BaseSize the whole problem goes to the sequential solver;
+// with BaseSize 1 the parallel levels must carry it all the way down.
+func TestBaseSizeExtremes(t *testing.T) {
+	g := gen.Random(1000, 4000, 3)
+	fBig, sBig := Run(g, Options{Workers: 4, BaseSize: 1 << 30, Stats: true, Seed: 1})
+	if err := verify.Minimum(g, fBig); err != nil {
+		t.Fatal(err)
+	}
+	if len(sBig.Levels) != 0 {
+		t.Fatalf("huge BaseSize still ran %d parallel levels", len(sBig.Levels))
+	}
+	fSmall, sSmall := Run(g, Options{Workers: 4, BaseSize: 1, Stats: true, Seed: 1})
+	if err := verify.Minimum(g, fSmall); err != nil {
+		t.Fatal(err)
+	}
+	if len(sSmall.Levels) == 0 {
+		t.Fatal("BaseSize=1 ran no parallel levels")
+	}
+	if d := fBig.Weight - fSmall.Weight; d > 1e-9 || d < -1e-9 {
+		t.Fatal("BaseSize changed the forest weight")
+	}
+}
+
+// p=1 is the "behaves as Prim" mode: a single processor grows whole
+// components, so level 1 grows exactly one tree per component and visits
+// every vertex; no collisions can occur.
+func TestSingleWorkerBehavesAsPrim(t *testing.T) {
+	g := gen.Random(2000, 8000, 4)
+	f, stats := Run(g, Options{Workers: 1, BaseSize: 16, Stats: true, Seed: 7})
+	if err := verify.Full(g, f); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Levels) != 1 {
+		t.Fatalf("p=1 took %d levels, want 1", len(stats.Levels))
+	}
+	lv := stats.Levels[0]
+	if lv.Collisions != 0 {
+		t.Fatalf("p=1 recorded %d collisions", lv.Collisions)
+	}
+	if lv.Trees != int64(f.Components) {
+		t.Fatalf("p=1 grew %d trees, want one per component (%d)", lv.Trees, f.Components)
+	}
+	if lv.Visited != int64(lv.N) {
+		t.Fatalf("p=1 visited %d of %d vertices", lv.Visited, lv.N)
+	}
+}
+
+// Many workers on a tiny graph: heavier contention than vertices.
+func TestMoreWorkersThanVertices(t *testing.T) {
+	g := gen.Random(16, 40, 5)
+	f, _ := Run(g, Options{Workers: 64, BaseSize: 1, Seed: 2})
+	if err := verify.Full(g, f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The pathological-synchronization fallback: a cycle arrangement where
+// every processor could claim and immediately mature. Whatever the
+// interleaving, progress and correctness must hold.
+func TestCycleGraphProgress(t *testing.T) {
+	// One big cycle: the paper's example of potential zero progress.
+	n := 64
+	g := &graph.EdgeList{N: n}
+	for i := 0; i < n; i++ {
+		g.Edges = append(g.Edges, graph.Edge{
+			U: int32(i), V: int32((i + 1) % n), W: float64(i) + 0.5,
+		})
+	}
+	for rep := 0; rep < 20; rep++ {
+		f, _ := Run(g, Options{Workers: 8, BaseSize: 1, Seed: uint64(rep), NoPermute: true})
+		if err := verify.Full(g, f); err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package par provides the fork-join parallel primitives on which the
+// parallel MSF algorithms are built: parallel-for over index ranges,
+// reductions, prefix sums, reusable barriers, and a static work
+// partitioner.
+//
+// The package deliberately mirrors the SPMD structure of the SIMPLE
+// primitives library used by the paper (Bader & JáJá): each phase forks p
+// workers over a contiguous range, and phases are separated by implicit
+// barriers (the join). Worker identifiers are stable within a phase so
+// per-worker scratch space can be preallocated.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the default parallelism for the library:
+// GOMAXPROCS at the time of the call.
+func DefaultWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// Clamp bounds p to [1, n] when n > 0 (no point in more workers than
+// items), and to at least 1 otherwise.
+func Clamp(p, n int) int {
+	if p < 1 {
+		p = 1
+	}
+	if n > 0 && p > n {
+		p = n
+	}
+	return p
+}
+
+// Range describes a half-open index interval [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of indices in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Split partitions [0, n) into p nearly equal contiguous ranges. The first
+// n%p ranges receive one extra element. Empty ranges are possible when
+// p > n.
+func Split(n, p int) []Range {
+	if p < 1 {
+		p = 1
+	}
+	ranges := make([]Range, p)
+	base := n / p
+	extra := n % p
+	lo := 0
+	for i := 0; i < p; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		ranges[i] = Range{lo, lo + size}
+		lo += size
+	}
+	return ranges
+}
+
+// Do runs body(worker) on p goroutines with worker IDs 0..p-1 and waits
+// for all of them. It is the bare SPMD fork-join.
+//
+// A panic in any worker is captured and re-raised on the calling
+// goroutine after every worker has finished, so callers see library
+// panics as ordinary panics with a usable stack instead of a crashed
+// runtime. When several workers panic, the lowest worker id wins.
+func Do(p int, body func(worker int)) {
+	if p <= 1 {
+		body(0)
+		return
+	}
+	panics := make([]any, p)
+	var wg sync.WaitGroup
+	wg.Add(p - 1)
+	for w := 1; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[w] = r
+				}
+			}()
+			body(w)
+		}(w)
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panics[0] = r
+			}
+		}()
+		body(0)
+	}()
+	wg.Wait()
+	for _, r := range panics {
+		if r != nil {
+			panic(r)
+		}
+	}
+}
+
+// For runs body over [0, n) split into p contiguous blocks, one per
+// worker: body(worker, lo, hi). Workers with empty ranges are still
+// invoked (with lo == hi) so per-worker side effects remain uniform.
+func For(p, n int, body func(worker, lo, hi int)) {
+	p = Clamp(p, n)
+	if p == 1 {
+		body(0, 0, n)
+		return
+	}
+	ranges := Split(n, p)
+	Do(p, func(w int) {
+		body(w, ranges[w].Lo, ranges[w].Hi)
+	})
+}
+
+// ForDynamic runs body(i) for each i in [0, n) using p workers pulling
+// grain-sized chunks from a shared atomic counter. Use it when per-index
+// cost is irregular (e.g. per-vertex adjacency list sorts).
+func ForDynamic(p, n, grain int, body func(worker, lo, hi int)) {
+	p = Clamp(p, n)
+	if grain < 1 {
+		grain = 1
+	}
+	if p == 1 {
+		body(0, 0, n)
+		return
+	}
+	var next atomic.Int64
+	Do(p, func(w int) {
+		for {
+			lo := int(next.Add(int64(grain))) - grain
+			if lo >= n {
+				return
+			}
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			body(w, lo, hi)
+		}
+	})
+}
+
+// ReduceInt64 computes the sum of per-worker partial results of body over
+// [0, n) split into p blocks.
+func ReduceInt64(p, n int, body func(worker, lo, hi int) int64) int64 {
+	p = Clamp(p, n)
+	partial := make([]int64, p)
+	For(p, n, func(w, lo, hi int) {
+		partial[w] = body(w, lo, hi)
+	})
+	var sum int64
+	for _, v := range partial {
+		sum += v
+	}
+	return sum
+}
+
+// MinFloat64 computes the minimum of per-worker partial minima of body
+// over [0, n), seeded with init. Workers whose range is empty do not
+// contribute, so init is returned when n == 0.
+func MinFloat64(p, n int, init float64, body func(worker, lo, hi int) float64) float64 {
+	p = Clamp(p, n)
+	partial := make([]float64, p)
+	empty := make([]bool, p)
+	For(p, n, func(w, lo, hi int) {
+		if lo == hi {
+			empty[w] = true
+			return
+		}
+		partial[w] = body(w, lo, hi)
+	})
+	min := init
+	for w, v := range partial {
+		if !empty[w] && v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Barrier is a reusable p-party barrier for long-lived SPMD worker teams.
+// All p parties must call Wait; the b-th use of the barrier completes when
+// the last party arrives.
+type Barrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	phase  uint64
+	inited bool
+}
+
+// NewBarrier returns a barrier for n parties. n must be >= 1.
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic("par: barrier size must be >= 1")
+	}
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	b.inited = true
+	return b
+}
+
+// Wait blocks until all n parties have called Wait for the current phase.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,102 @@
+package par
+
+// Prefix sums ("scans") are the glue of the Borůvka compact-graph step:
+// after a sort brings duplicate edges together, an exclusive scan over
+// per-segment counts computes the write offsets of the merged output.
+
+// ExclusiveSumInt32 computes, in place, the exclusive prefix sum of a and
+// returns the total. a[i] becomes sum(a[0:i]).
+func ExclusiveSumInt32(a []int32) int32 {
+	var sum int32
+	for i, v := range a {
+		a[i] = sum
+		sum += v
+	}
+	return sum
+}
+
+// ExclusiveSumInt64 is ExclusiveSumInt32 for int64 slices.
+func ExclusiveSumInt64(a []int64) int64 {
+	var sum int64
+	for i, v := range a {
+		a[i] = sum
+		sum += v
+	}
+	return sum
+}
+
+// ScanInt64 computes the exclusive prefix sum of a in parallel with p
+// workers using the classic two-pass (local-sum, offset, local-scan)
+// scheme, and returns the total. For small inputs it falls back to the
+// sequential scan.
+func ScanInt64(p int, a []int64) int64 {
+	n := len(a)
+	const seqCutoff = 1 << 12
+	p = Clamp(p, n/seqCutoff)
+	if p <= 1 {
+		return ExclusiveSumInt64(a)
+	}
+	ranges := Split(n, p)
+	partial := make([]int64, p)
+	// Pass 1: per-block totals.
+	Do(p, func(w int) {
+		var sum int64
+		for i := ranges[w].Lo; i < ranges[w].Hi; i++ {
+			sum += a[i]
+		}
+		partial[w] = sum
+	})
+	total := ExclusiveSumInt64(partial)
+	// Pass 2: per-block exclusive scans seeded with the block offset.
+	Do(p, func(w int) {
+		sum := partial[w]
+		for i := ranges[w].Lo; i < ranges[w].Hi; i++ {
+			v := a[i]
+			a[i] = sum
+			sum += v
+		}
+	})
+	return total
+}
+
+// CountTrue returns the number of true values in mask using p workers.
+func CountTrue(p int, mask []bool) int {
+	return int(ReduceInt64(p, len(mask), func(_, lo, hi int) int64 {
+		var c int64
+		for i := lo; i < hi; i++ {
+			if mask[i] {
+				c++
+			}
+		}
+		return c
+	}))
+}
+
+// PackIndices returns the indices i in [0, n) for which keep(i) is true,
+// preserving order, computed with p workers via count + scan + scatter.
+func PackIndices(p, n int, keep func(i int) bool) []int32 {
+	p = Clamp(p, n)
+	counts := make([]int64, p)
+	ranges := Split(n, p)
+	Do(p, func(w int) {
+		var c int64
+		for i := ranges[w].Lo; i < ranges[w].Hi; i++ {
+			if keep(i) {
+				c++
+			}
+		}
+		counts[w] = c
+	})
+	total := ExclusiveSumInt64(counts)
+	out := make([]int32, total)
+	Do(p, func(w int) {
+		pos := counts[w]
+		for i := ranges[w].Lo; i < ranges[w].Hi; i++ {
+			if keep(i) {
+				out[pos] = int32(i)
+				pos++
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,106 @@
+package par
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmsf/internal/rng"
+)
+
+func TestExclusiveSumInt32(t *testing.T) {
+	a := []int32{3, 1, 4, 1, 5}
+	total := ExclusiveSumInt32(a)
+	want := []int32{0, 3, 4, 8, 9}
+	if total != 14 {
+		t.Fatalf("total = %d, want 14", total)
+	}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("a[%d] = %d, want %d", i, a[i], want[i])
+		}
+	}
+}
+
+func TestScanInt64MatchesSequential(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{0, 1, 100, 1 << 12, 1<<16 + 7} {
+		a := make([]int64, n)
+		b := make([]int64, n)
+		for i := range a {
+			a[i] = int64(r.Intn(1000)) - 500
+			b[i] = a[i]
+		}
+		totalSeq := ExclusiveSumInt64(a)
+		totalPar := ScanInt64(8, b)
+		if totalSeq != totalPar {
+			t.Fatalf("n=%d: totals differ: %d vs %d", n, totalSeq, totalPar)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("n=%d: scan[%d] = %d, want %d", n, i, b[i], a[i])
+			}
+		}
+	}
+}
+
+func TestScanInt64Property(t *testing.T) {
+	f := func(vals []int16) bool {
+		a := make([]int64, len(vals))
+		for i, v := range vals {
+			a[i] = int64(v)
+		}
+		b := append([]int64(nil), a...)
+		t1 := ExclusiveSumInt64(a)
+		t2 := ScanInt64(4, b)
+		if t1 != t2 {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountTrue(t *testing.T) {
+	mask := make([]bool, 1000)
+	want := 0
+	r := rng.New(2)
+	for i := range mask {
+		if r.Bool() {
+			mask[i] = true
+			want++
+		}
+	}
+	if got := CountTrue(4, mask); got != want {
+		t.Fatalf("CountTrue = %d, want %d", got, want)
+	}
+}
+
+func TestPackIndices(t *testing.T) {
+	for _, p := range []int{1, 3, 8} {
+		const n = 997
+		got := PackIndices(p, n, func(i int) bool { return i%3 == 0 })
+		want := 0
+		for i := 0; i < n; i += 3 {
+			if int(got[want]) != i {
+				t.Fatalf("p=%d: got[%d] = %d, want %d", p, want, got[want], i)
+			}
+			want++
+		}
+		if len(got) != want {
+			t.Fatalf("p=%d: packed %d indices, want %d", p, len(got), want)
+		}
+	}
+	if got := PackIndices(4, 0, func(int) bool { return true }); len(got) != 0 {
+		t.Fatalf("empty pack returned %d entries", len(got))
+	}
+	if got := PackIndices(4, 100, func(int) bool { return false }); len(got) != 0 {
+		t.Fatalf("all-false pack returned %d entries", len(got))
+	}
+}

@@ -1,0 +1,93 @@
+package par
+
+import "sync"
+
+// Team is a persistent SPMD worker group: p goroutines created once and
+// reused across many phases, mirroring the paper's SIMPLE runtime (POSIX
+// threads living for the whole algorithm, synchronized by barriers)
+// rather than the fork-join Do/For primitives. For iteration-heavy
+// algorithms the team amortizes goroutine creation across the O(log n)
+// Borůvka rounds; BenchmarkAblationTeam quantifies the difference.
+//
+// Usage:
+//
+//	team := par.NewTeam(p)
+//	defer team.Close()
+//	team.Run(func(w int) { ... })   // phase 1, all workers
+//	team.Run(func(w int) { ... })   // phase 2 ...
+//
+// Run blocks until every worker has finished the phase (an implicit
+// barrier). Nested Run calls from inside a phase deadlock by
+// construction; use the plain Do/For primitives for nested parallelism.
+type Team struct {
+	p       int
+	work    []chan func(int)
+	done    chan struct{}
+	closing bool
+	mu      sync.Mutex
+}
+
+// NewTeam starts a team of p persistent workers. p must be >= 1.
+func NewTeam(p int) *Team {
+	if p < 1 {
+		panic("par: team size must be >= 1")
+	}
+	t := &Team{
+		p:    p,
+		work: make([]chan func(int), p),
+		done: make(chan struct{}, p),
+	}
+	for w := 1; w < p; w++ {
+		t.work[w] = make(chan func(int))
+		go func(w int) {
+			for fn := range t.work[w] {
+				fn(w)
+				t.done <- struct{}{}
+			}
+		}(w)
+	}
+	return t
+}
+
+// P returns the team size.
+func (t *Team) P() int { return t.p }
+
+// Run executes body(w) for w in [0, p) — worker 0 on the calling
+// goroutine — and waits for all of them.
+func (t *Team) Run(body func(worker int)) {
+	t.mu.Lock()
+	if t.closing {
+		t.mu.Unlock()
+		panic("par: Run on closed team")
+	}
+	t.mu.Unlock()
+	for w := 1; w < t.p; w++ {
+		t.work[w] <- body
+	}
+	body(0)
+	for w := 1; w < t.p; w++ {
+		<-t.done
+	}
+}
+
+// For runs body over [0, n) split into p contiguous blocks on the team.
+func (t *Team) For(n int, body func(worker, lo, hi int)) {
+	ranges := Split(n, t.p)
+	t.Run(func(w int) {
+		body(w, ranges[w].Lo, ranges[w].Hi)
+	})
+}
+
+// Close shuts the workers down. The team must not be used afterwards.
+// Close is idempotent.
+func (t *Team) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closing {
+		return
+	}
+	t.closing = true
+	for w := 1; w < t.p; w++ {
+		close(t.work[w])
+	}
+}

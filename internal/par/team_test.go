@@ -1,0 +1,114 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTeamRunAllWorkers(t *testing.T) {
+	for _, p := range []int{1, 2, 8} {
+		team := NewTeam(p)
+		seen := make([]int32, p)
+		for round := 0; round < 10; round++ {
+			team.Run(func(w int) { atomic.AddInt32(&seen[w], 1) })
+		}
+		team.Close()
+		for w, c := range seen {
+			if c != 10 {
+				t.Fatalf("p=%d: worker %d ran %d phases, want 10", p, w, c)
+			}
+		}
+	}
+}
+
+func TestTeamRunIsBarrier(t *testing.T) {
+	team := NewTeam(8)
+	defer team.Close()
+	var counter atomic.Int64
+	for round := 1; round <= 20; round++ {
+		team.Run(func(int) { counter.Add(1) })
+		if got := counter.Load(); got != int64(8*round) {
+			t.Fatalf("after round %d: counter %d, want %d", round, got, 8*round)
+		}
+	}
+}
+
+func TestTeamFor(t *testing.T) {
+	team := NewTeam(4)
+	defer team.Close()
+	const n = 1003
+	hits := make([]int32, n)
+	team.For(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestTeamCloseIdempotent(t *testing.T) {
+	team := NewTeam(3)
+	team.Close()
+	team.Close() // must not panic
+}
+
+func TestTeamRunAfterClosePanics(t *testing.T) {
+	team := NewTeam(2)
+	team.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run after Close did not panic")
+		}
+	}()
+	team.Run(func(int) {})
+}
+
+func TestNewTeamZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewTeam(0)
+}
+
+func TestTeamSizeOne(t *testing.T) {
+	team := NewTeam(1)
+	defer team.Close()
+	ran := false
+	team.Run(func(w int) {
+		if w != 0 {
+			t.Errorf("worker id %d", w)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("body did not run")
+	}
+	if team.P() != 1 {
+		t.Fatal("P wrong")
+	}
+}
+
+func TestTeamNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		team := NewTeam(8)
+		team.Run(func(int) {})
+		team.Close()
+	}
+	// Give the workers a moment to exit.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

@@ -1,0 +1,76 @@
+// Package report renders algorithm instrumentation (the Borůvka
+// per-iteration stats, MST-BC per-level stats, and filter stats) as
+// human-readable text. The CLI uses it; keeping the formatting here
+// makes it testable and reusable by examples.
+package report
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"pmsf/internal/boruvka"
+	"pmsf/internal/filter"
+	"pmsf/internal/mstbc"
+)
+
+// Boruvka writes a per-iteration table of a Borůvka run.
+func Boruvka(w io.Writer, s *boruvka.Stats) error {
+	if _, err := fmt.Fprintf(w, "%s, p=%d, %d iterations\n", s.Algorithm, s.Workers, len(s.Iters)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-5s %12s %14s %12s %12s %12s\n",
+		"iter", "supervertices", "list size", "find-min", "conn-comp", "compact"); err != nil {
+		return err
+	}
+	for i, it := range s.Iters {
+		if _, err := fmt.Fprintf(w, "%-5d %12d %14d %12v %12v %12v\n",
+			i+1, it.N, it.ListSize,
+			round(it.Steps.FindMin), round(it.Steps.ConnectComponents), round(it.Steps.CompactGraph)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-5s %12s %14s %12v %12v %12v\n",
+		"total", "", "",
+		round(s.Total.FindMin), round(s.Total.ConnectComponents), round(s.Total.CompactGraph))
+	return err
+}
+
+// MSTBC writes a per-level table of an MST-BC run.
+func MSTBC(w io.Writer, s *mstbc.Stats) error {
+	if _, err := fmt.Fprintf(w, "MST-BC, p=%d, %d parallel levels, sequential base n=%d m=%d, total %v\n",
+		s.Workers, len(s.Levels), s.SeqBaseN, s.SeqBaseM, round(s.TotalTime)); err != nil {
+		return err
+	}
+	if len(s.Levels) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "%-5s %10s %10s %8s %10s %8s %10s %10s\n",
+		"level", "n", "m", "trees", "collisions", "steals", "visited", "grow"); err != nil {
+		return err
+	}
+	for i, lv := range s.Levels {
+		if _, err := fmt.Fprintf(w, "%-5d %10d %10d %8d %10d %8d %10d %10v\n",
+			i+1, lv.N, lv.M, lv.Trees, lv.Collisions, lv.Steals, lv.Visited, round(lv.GrowTime)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Filter writes a summary of a filtered run.
+func Filter(w io.Writer, s *filter.Stats) error {
+	_, err := fmt.Fprintf(w,
+		"filter: sampled %d of %d edges (p=%.2f, %d level(s)), discarded %d as heavy, final %d (%.2fx reduction)\n",
+		s.Sampled, s.M, s.SampleProb, s.Levels, s.Discarded, s.FinalM, reduction(s.M, s.FinalM))
+	return err
+}
+
+func reduction(m, final int) float64 {
+	if final <= 0 {
+		return 0
+	}
+	return float64(m) / float64(final)
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Microsecond) }

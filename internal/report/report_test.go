@@ -1,0 +1,80 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pmsf/internal/boruvka"
+	"pmsf/internal/filter"
+	"pmsf/internal/gen"
+	"pmsf/internal/mstbc"
+)
+
+func TestBoruvkaReport(t *testing.T) {
+	g := gen.Random(1000, 5000, 1)
+	_, stats := boruvka.FAL(g, boruvka.Options{Stats: true})
+	var buf bytes.Buffer
+	if err := Boruvka(&buf, stats); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Bor-FAL", "iterations", "find-min", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// One line per iteration plus header, title and total.
+	if lines := strings.Count(out, "\n"); lines != len(stats.Iters)+3 {
+		t.Errorf("report has %d lines, want %d", lines, len(stats.Iters)+3)
+	}
+}
+
+func TestMSTBCReport(t *testing.T) {
+	g := gen.Random(2000, 8000, 2)
+	_, stats := mstbc.Run(g, mstbc.Options{Workers: 4, BaseSize: 64, Stats: true})
+	var buf bytes.Buffer
+	if err := MSTBC(&buf, stats); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"MST-BC", "levels", "collisions", "trees"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMSTBCReportNoLevels(t *testing.T) {
+	g := gen.Random(100, 300, 3)
+	_, stats := mstbc.Run(g, mstbc.Options{Workers: 2, BaseSize: 1 << 20, Stats: true})
+	var buf bytes.Buffer
+	if err := MSTBC(&buf, stats); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0 parallel levels") {
+		t.Errorf("expected zero-level summary:\n%s", buf.String())
+	}
+}
+
+func TestFilterReport(t *testing.T) {
+	g := gen.Random(1000, 20000, 4)
+	_, stats := filter.Run(g, filter.Options{Stats: true})
+	var buf bytes.Buffer
+	if err := Filter(&buf, stats); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sampled") || !strings.Contains(out, "reduction") {
+		t.Errorf("filter report incomplete:\n%s", out)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if reduction(100, 0) != 0 {
+		t.Fatal("division by zero not guarded")
+	}
+	if reduction(100, 25) != 4 {
+		t.Fatal("reduction wrong")
+	}
+}

@@ -1,0 +1,167 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used throughout the library.
+//
+// All graph generators and randomized algorithm steps in this repository
+// draw their randomness from these generators so that every experiment is
+// reproducible from a single seed. The generators are splittable: a parent
+// generator can derive independent child streams for worker goroutines
+// without synchronization.
+package rng
+
+import "math"
+
+// SplitMix64 is the splitmix64 generator of Steele, Lea and Flood. It is
+// used both as a stand-alone generator and to seed Xoshiro256 streams.
+//
+// The zero value is a valid generator seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 returns the next value in the stream.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Xoshiro256 implements the xoshiro256** generator of Blackman and Vigna.
+// It has a 256-bit state, passes stringent statistical tests, and is the
+// workhorse generator for the graph generators.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// New returns a Xoshiro256 generator seeded from seed via splitmix64, per
+// the authors' recommendation.
+func New(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256
+	for i := range x.s {
+		x.s[i] = sm.Uint64()
+	}
+	// Avoid the all-zero state, which is a fixed point.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &x
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next value in the stream.
+func (x *Xoshiro256) Uint64() uint64 {
+	result := rotl(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl(x.s[3], 45)
+	return result
+}
+
+// Jump advances the generator by 2^128 steps, equivalent to 2^128 calls of
+// Uint64. It is used to derive non-overlapping streams for parallel
+// workers.
+func (x *Xoshiro256) Jump() {
+	jump := [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+	var s0, s1, s2, s3 uint64
+	for _, j := range jump {
+		for b := uint(0); b < 64; b++ {
+			if j&(1<<b) != 0 {
+				s0 ^= x.s[0]
+				s1 ^= x.s[1]
+				s2 ^= x.s[2]
+				s3 ^= x.s[3]
+			}
+			x.Uint64()
+		}
+	}
+	x.s[0], x.s[1], x.s[2], x.s[3] = s0, s1, s2, s3
+}
+
+// Split returns a new generator whose stream is guaranteed disjoint from
+// the receiver's next 2^128 outputs. The receiver is advanced past the
+// child's stream.
+func (x *Xoshiro256) Split() *Xoshiro256 {
+	child := *x
+	x.Jump()
+	return &child
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (x *Xoshiro256) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(x.Uint64n(uint64(n)))
+}
+
+// Int63 returns a uniform non-negative int64.
+func (x *Xoshiro256) Int63() int64 {
+	return int64(x.Uint64() >> 1)
+}
+
+// Uint64n returns a uniform value in [0, n) using Lemire's nearly
+// divisionless method with a rejection loop for exact uniformity.
+func (x *Xoshiro256) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return x.Uint64() & (n - 1)
+	}
+	// Rejection sampling on the top part of the range.
+	max := math.MaxUint64 - math.MaxUint64%n
+	for {
+		v := x.Uint64()
+		if v < max {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (x *Xoshiro256) Float64() float64 {
+	return float64(x.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a uniformly random permutation of [0, n) as an int32 slice
+// (vertex identifiers in this library are int32).
+func (x *Xoshiro256) Perm(n int) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	x.Shuffle32(p)
+	return p
+}
+
+// Shuffle32 performs an in-place Fisher-Yates shuffle of p.
+func (x *Xoshiro256) Shuffle32(p []int32) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := x.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// ShuffleUint64 performs an in-place Fisher-Yates shuffle of p.
+func (x *Xoshiro256) ShuffleUint64(p []uint64) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := x.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Bool returns a uniform boolean.
+func (x *Xoshiro256) Bool() bool { return x.Uint64()&1 == 1 }

@@ -1,0 +1,229 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(7)
+	b := NewSplitMix64(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverge at step %d", i)
+		}
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 1234567 from the published splitmix64
+	// reference implementation.
+	s := NewSplitMix64(1234567)
+	want := []uint64{
+		6457827717110365317, // 0x599ed017fb08fc85
+		3203168211198807973, // 0x2c73f08458540fa5
+		9817491932198370423, // 0x883ebce5a3f27c77
+	}
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Errorf("value %d: got %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestXoshiroDeterministic(t *testing.T) {
+	a, b := New(99), New(99)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverge at step %d", i)
+		}
+	}
+	c := New(100)
+	same := 0
+	a2 := New(99)
+	for i := 0; i < 1000; i++ {
+		if a2.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical outputs of 1000", same)
+	}
+}
+
+func TestXoshiroSplitDisjoint(t *testing.T) {
+	parent := New(5)
+	child := parent.Split()
+	seen := make(map[uint64]bool, 4096)
+	for i := 0; i < 2048; i++ {
+		seen[child.Uint64()] = true
+	}
+	for i := 0; i < 2048; i++ {
+		if seen[parent.Uint64()] {
+			t.Fatalf("parent stream collided with child stream at step %d", i)
+		}
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(1)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		v := r.Uint64n(n)
+		return v < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPowerOfTwoFastPath(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 1000; i++ {
+		if v := r.Uint64n(64); v >= 64 {
+			t.Fatalf("Uint64n(64) = %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	var sum float64
+	const trials = 100_000
+	for i := 0; i < trials; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / trials; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean %g too far from 0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(4)
+	for _, n := range []int{0, 1, 2, 10, 1000} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || int(v) >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid entry %d", n, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermIsShuffled(t *testing.T) {
+	// A 1000-element permutation equal to the identity has probability
+	// 1/1000!; any fixed-point fraction near 1 indicates a broken shuffle.
+	p := New(5).Perm(1000)
+	fixed := 0
+	for i, v := range p {
+		if int(v) == i {
+			fixed++
+		}
+	}
+	if fixed > 50 {
+		t.Fatalf("%d fixed points in a 1000-element shuffle", fixed)
+	}
+}
+
+func TestShuffleUint64PreservesMultiset(t *testing.T) {
+	r := New(6)
+	orig := make([]uint64, 500)
+	for i := range orig {
+		orig[i] = r.Uint64() % 100
+	}
+	shuffled := make([]uint64, len(orig))
+	copy(shuffled, orig)
+	r.ShuffleUint64(shuffled)
+	count := map[uint64]int{}
+	for _, v := range orig {
+		count[v]++
+	}
+	for _, v := range shuffled {
+		count[v]--
+	}
+	for k, c := range count {
+		if c != 0 {
+			t.Fatalf("value %d count changed by %d", k, c)
+		}
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	// Chi-squared test over 16 buckets; threshold is the 99.9th
+	// percentile of chi2 with 15 degrees of freedom (~37.7).
+	r := New(7)
+	const buckets, samples = 16, 160_000
+	var counts [buckets]int
+	for i := 0; i < samples; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	expected := float64(samples) / buckets
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 37.7 {
+		t.Fatalf("chi-squared %g exceeds 37.7; counts %v", chi2, counts)
+	}
+}
+
+func TestJumpChangesState(t *testing.T) {
+	a := New(8)
+	b := New(8)
+	b.Jump()
+	diverged := false
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("Jump did not move the stream")
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := New(9)
+	trues := 0
+	const trials = 10_000
+	for i := 0; i < trials; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if trues < trials*4/10 || trues > trials*6/10 {
+		t.Fatalf("Bool produced %d/%d trues", trues, trials)
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	r := New(10)
+	for i := 0; i < 1000; i++ {
+		if r.Int63() < 0 {
+			t.Fatal("negative Int63")
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package seq
+
+import (
+	"pmsf/internal/graph"
+	"pmsf/internal/uf"
+)
+
+// Boruvka computes the minimum spanning forest with the classic
+// m log n sequential Borůvka algorithm: each round scans all edges to
+// find the cheapest edge leaving every component (components tracked with
+// union-find rather than explicit contraction), then merges along those
+// edges. This is the sequential baseline the earlier parallel studies
+// (Chung & Condon) compared against.
+func Boruvka(g *graph.EdgeList) *graph.Forest {
+	n := g.N
+	u := uf.New(n)
+	forest := &graph.Forest{}
+	cheapest := make([]int32, n)
+	for {
+		for i := range cheapest {
+			cheapest[i] = -1
+		}
+		found := false
+		for id, e := range g.Edges {
+			if e.U == e.V {
+				continue
+			}
+			ru, rv := u.Find(e.U), u.Find(e.V)
+			if ru == rv {
+				continue
+			}
+			found = true
+			if better(g, int32(id), cheapest[ru]) {
+				cheapest[ru] = int32(id)
+			}
+			if better(g, int32(id), cheapest[rv]) {
+				cheapest[rv] = int32(id)
+			}
+		}
+		if !found {
+			break
+		}
+		progress := false
+		for _, id := range cheapest {
+			if id < 0 {
+				continue
+			}
+			e := g.Edges[id]
+			if u.Union(e.U, e.V) {
+				forest.EdgeIDs = append(forest.EdgeIDs, id)
+				forest.Weight += e.W
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	forest.Components = u.Count()
+	return forest
+}
+
+// better reports whether edge a is lighter than edge b (b may be -1,
+// meaning "no candidate yet"). Ties break on the smaller edge id, which
+// also makes the algorithm deterministic and safe for duplicate weights.
+func better(g *graph.EdgeList, a, b int32) bool {
+	if b < 0 {
+		return true
+	}
+	ea, eb := g.Edges[a], g.Edges[b]
+	if ea.W != eb.W {
+		return ea.W < eb.W
+	}
+	return a < b
+}

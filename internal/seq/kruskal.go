@@ -1,0 +1,51 @@
+package seq
+
+import (
+	"pmsf/internal/graph"
+	"pmsf/internal/sorts"
+	"pmsf/internal/uf"
+)
+
+// kedge pairs an edge id with its weight for the Kruskal sort.
+type kedge struct {
+	w  graph.Weight
+	id int32
+}
+
+// Kruskal computes the minimum spanning forest with Kruskal's algorithm.
+// Following the paper's engineering choice, the edge sort is a
+// non-recursive bottom-up merge sort (which the authors found superior to
+// qsort, GNU quicksort and recursive merge sort for large inputs).
+func Kruskal(g *graph.EdgeList) *graph.Forest {
+	m := len(g.Edges)
+	order := make([]kedge, m)
+	for i, e := range g.Edges {
+		order[i] = kedge{w: e.W, id: int32(i)}
+	}
+	buf := make([]kedge, m)
+	sorts.MergeBottomUp(order, buf, func(a, b kedge) bool {
+		if a.w != b.w {
+			return a.w < b.w
+		}
+		return a.id < b.id
+	})
+	u := uf.New(g.N)
+	forest := &graph.Forest{}
+	need := g.N - 1
+	for _, ke := range order {
+		e := g.Edges[ke.id]
+		if e.U == e.V {
+			continue
+		}
+		if u.Union(e.U, e.V) {
+			forest.EdgeIDs = append(forest.EdgeIDs, ke.id)
+			forest.Weight += e.W
+			need--
+			if need == 0 {
+				break
+			}
+		}
+	}
+	forest.Components = u.Count()
+	return forest
+}

@@ -1,0 +1,93 @@
+package seq
+
+import (
+	"sort"
+
+	"pmsf/internal/graph"
+	"pmsf/internal/sorts"
+	"pmsf/internal/uf"
+)
+
+// EdgeSort selects the sorting routine Kruskal uses — the engineering
+// comparison of Section 5.2, where the authors found the non-recursive
+// merge sort superior to qsort, GNU quicksort and recursive merge sort
+// for large inputs.
+type EdgeSort int
+
+const (
+	// SortMergeBottomUp is the paper's choice (and Kruskal's default).
+	SortMergeBottomUp EdgeSort = iota
+	// SortMergeRecursive is the textbook top-down merge sort.
+	SortMergeRecursive
+	// SortQuick is a median-of-three quicksort (the qsort analogue).
+	SortQuick
+	// SortStdlib is Go's sort.Slice (introspective quicksort), the
+	// modern "system sort" baseline.
+	SortStdlib
+)
+
+// String returns a short name for benchmarks and tables.
+func (s EdgeSort) String() string {
+	switch s {
+	case SortMergeBottomUp:
+		return "merge-bottomup"
+	case SortMergeRecursive:
+		return "merge-recursive"
+	case SortQuick:
+		return "quicksort"
+	case SortStdlib:
+		return "stdlib"
+	}
+	return "unknown"
+}
+
+// EdgeSorts lists all comparison candidates.
+func EdgeSorts() []EdgeSort {
+	return []EdgeSort{SortMergeBottomUp, SortMergeRecursive, SortQuick, SortStdlib}
+}
+
+// KruskalWithSort is Kruskal's algorithm with a selectable edge sort.
+// All variants produce identical forests; only the constant factors of
+// the dominating sort differ.
+func KruskalWithSort(g *graph.EdgeList, es EdgeSort) *graph.Forest {
+	m := len(g.Edges)
+	order := make([]kedge, m)
+	for i, e := range g.Edges {
+		order[i] = kedge{w: e.W, id: int32(i)}
+	}
+	less := func(a, b kedge) bool {
+		if a.w != b.w {
+			return a.w < b.w
+		}
+		return a.id < b.id
+	}
+	switch es {
+	case SortMergeBottomUp:
+		sorts.MergeBottomUp(order, make([]kedge, m), less)
+	case SortMergeRecursive:
+		sorts.MergeRecursive(order, make([]kedge, m), less)
+	case SortQuick:
+		sorts.Quicksort(order, less)
+	case SortStdlib:
+		sort.Slice(order, func(i, j int) bool { return less(order[i], order[j]) })
+	}
+	u := uf.New(g.N)
+	forest := &graph.Forest{}
+	need := g.N - 1
+	for _, ke := range order {
+		e := g.Edges[ke.id]
+		if e.U == e.V {
+			continue
+		}
+		if u.Union(e.U, e.V) {
+			forest.EdgeIDs = append(forest.EdgeIDs, ke.id)
+			forest.Weight += e.W
+			need--
+			if need == 0 {
+				break
+			}
+		}
+	}
+	forest.Components = u.Count()
+	return forest
+}

@@ -1,0 +1,50 @@
+package seq_test
+
+import (
+	"testing"
+
+	"pmsf/internal/gen"
+	"pmsf/internal/seq"
+	"pmsf/internal/verify"
+)
+
+func TestKruskalSortVariantsAgree(t *testing.T) {
+	g := gen.Random(1500, 8000, 1)
+	ref := seq.Kruskal(g)
+	for _, es := range seq.EdgeSorts() {
+		f := seq.KruskalWithSort(g, es)
+		if err := verify.Forest(g, f); err != nil {
+			t.Fatalf("%v: %v", es, err)
+		}
+		if !eqWeight(f.Weight, ref.Weight) {
+			t.Fatalf("%v: weight %g != %g", es, f.Weight, ref.Weight)
+		}
+		// Identical tie-breaking: the exact edge sets must match.
+		if len(f.EdgeIDs) != len(ref.EdgeIDs) {
+			t.Fatalf("%v: %d edges, want %d", es, len(f.EdgeIDs), len(ref.EdgeIDs))
+		}
+		ids := map[int32]bool{}
+		for _, id := range ref.EdgeIDs {
+			ids[id] = true
+		}
+		for _, id := range f.EdgeIDs {
+			if !ids[id] {
+				t.Fatalf("%v: edge %d not in reference forest", es, id)
+			}
+		}
+	}
+}
+
+func TestEdgeSortNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, es := range seq.EdgeSorts() {
+		n := es.String()
+		if n == "unknown" || seen[n] {
+			t.Fatalf("bad or duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+	if seq.EdgeSort(99).String() != "unknown" {
+		t.Fatal("unknown sort must stringify as unknown")
+	}
+}

@@ -1,0 +1,58 @@
+// Package seq implements the three sequential MSF baselines the paper
+// measures against (Section 5.2): Prim's algorithm with a binary heap,
+// Kruskal's algorithm with a non-recursive merge sort, and the m log m
+// Borůvka algorithm. Every parallel run in the experiment harness reports
+// speedup relative to the best of these on the same input, exactly as the
+// paper does.
+package seq
+
+import (
+	"pmsf/internal/graph"
+	"pmsf/internal/heap"
+)
+
+// Prim computes the minimum spanning forest with Prim's algorithm using
+// an indexed binary heap with decrease-key. Disconnected inputs are
+// handled by restarting from every unvisited vertex, so the result is a
+// spanning forest.
+func Prim(g *graph.EdgeList) *graph.Forest {
+	adj := graph.BuildAdj(g)
+	return PrimAdj(adj, g.N)
+}
+
+// PrimAdj is Prim over a prebuilt adjacency structure. n is the vertex
+// count (equal to adj.N; passed for symmetry with other baselines).
+func PrimAdj(adj *graph.AdjArray, n int) *graph.Forest {
+	visited := make([]bool, n)
+	h := heap.New(n)
+	forest := &graph.Forest{}
+	components := 0
+	for start := 0; start < n; start++ {
+		if visited[start] {
+			continue
+		}
+		components++
+		visited[start] = true
+		for _, arc := range adj.Adj(graph.Vertex(start)) {
+			if !visited[arc.To] {
+				h.PushOrDecrease(arc.To, arc.W, arc.EID)
+			}
+		}
+		for h.Len() > 0 {
+			v, w, eid := h.PopMin()
+			if visited[v] {
+				continue
+			}
+			visited[v] = true
+			forest.EdgeIDs = append(forest.EdgeIDs, eid)
+			forest.Weight += w
+			for _, arc := range adj.Adj(v) {
+				if !visited[arc.To] {
+					h.PushOrDecrease(arc.To, arc.W, arc.EID)
+				}
+			}
+		}
+	}
+	forest.Components = components
+	return forest
+}

@@ -1,0 +1,91 @@
+package seq
+
+import (
+	"pmsf/internal/graph"
+	"pmsf/internal/heap"
+)
+
+// PrimPQ selects the priority queue behind Prim's algorithm. Moret and
+// Shapiro's empirical MST study — the methodological ancestor of the
+// paper's sequential baselines — compares exactly these alternatives.
+type PrimPQ int
+
+const (
+	// PQBinary is the indexed binary heap (the library default).
+	PQBinary PrimPQ = iota
+	// PQPairing is the indexed pairing heap.
+	PQPairing
+	// PQDary4 is an indexed 4-ary heap (shallower tree, cache-friendlier
+	// sift-up on decrease-key-heavy workloads).
+	PQDary4
+)
+
+// String names the queue for benchmarks.
+func (q PrimPQ) String() string {
+	switch q {
+	case PQBinary:
+		return "binary-heap"
+	case PQPairing:
+		return "pairing-heap"
+	case PQDary4:
+		return "4-ary-heap"
+	}
+	return "unknown"
+}
+
+// PrimPQs lists the available queues.
+func PrimPQs() []PrimPQ { return []PrimPQ{PQBinary, PQPairing, PQDary4} }
+
+// primQueue is the subset of heap operations Prim needs.
+type primQueue interface {
+	Len() int
+	PushOrDecrease(int32, float64, int32)
+	PopMin() (int32, float64, int32)
+}
+
+// PrimWithHeap is Prim's algorithm with a selectable priority queue; all
+// variants produce identical forests.
+func PrimWithHeap(g *graph.EdgeList, pq PrimPQ) *graph.Forest {
+	adj := graph.BuildAdj(g)
+	n := g.N
+	var h primQueue
+	switch pq {
+	case PQPairing:
+		h = heap.NewPairing(n)
+	case PQDary4:
+		h = heap.NewDary(4, n)
+	default:
+		h = heap.New(n)
+	}
+	visited := make([]bool, n)
+	forest := &graph.Forest{}
+	components := 0
+	for start := 0; start < n; start++ {
+		if visited[start] {
+			continue
+		}
+		components++
+		visited[start] = true
+		for _, arc := range adj.Adj(graph.Vertex(start)) {
+			if !visited[arc.To] {
+				h.PushOrDecrease(arc.To, arc.W, arc.EID)
+			}
+		}
+		for h.Len() > 0 {
+			v, w, eid := h.PopMin()
+			if visited[v] {
+				continue
+			}
+			visited[v] = true
+			forest.EdgeIDs = append(forest.EdgeIDs, eid)
+			forest.Weight += w
+			for _, arc := range adj.Adj(v) {
+				if !visited[arc.To] {
+					h.PushOrDecrease(arc.To, arc.W, arc.EID)
+				}
+			}
+		}
+	}
+	forest.Components = components
+	return forest
+}

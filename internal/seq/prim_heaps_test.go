@@ -1,0 +1,55 @@
+package seq_test
+
+import (
+	"testing"
+
+	"pmsf/internal/gen"
+	"pmsf/internal/graph"
+	"pmsf/internal/seq"
+	"pmsf/internal/verify"
+)
+
+func TestPrimWithHeapMatchesPrim(t *testing.T) {
+	inputs := map[string]*graph.EdgeList{
+		"random":       gen.Random(1500, 7000, 1),
+		"disconnected": gen.Random(1000, 600, 2),
+		"mesh":         gen.Mesh2D(30, 30, 3),
+		"str0":         gen.Str0(256, 4),
+		"empty":        {N: 0},
+		"isolated":     {N: 4},
+	}
+	for name, g := range inputs {
+		ref := seq.Prim(g)
+		for _, pq := range seq.PrimPQs() {
+			f := seq.PrimWithHeap(g, pq)
+			if err := verify.Forest(g, f); err != nil {
+				t.Fatalf("%s/%v: %v", name, pq, err)
+			}
+			if f.Weight != ref.Weight || f.Size() != ref.Size() {
+				t.Fatalf("%s/%v: (%g,%d) != (%g,%d)",
+					name, pq, f.Weight, f.Size(), ref.Weight, ref.Size())
+			}
+			// Identical tie-breaking: both queues order by (key, id), so
+			// the exact pop sequence — and hence the edge set — matches.
+			for i := range f.EdgeIDs {
+				if f.EdgeIDs[i] != ref.EdgeIDs[i] {
+					t.Fatalf("%s/%v: edge sequence diverges at %d", name, pq, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPrimPQNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, pq := range seq.PrimPQs() {
+		n := pq.String()
+		if n == "unknown" || seen[n] {
+			t.Fatalf("bad name %q", n)
+		}
+		seen[n] = true
+	}
+	if seq.PrimPQ(9).String() != "unknown" {
+		t.Fatal("unknown PQ must stringify as unknown")
+	}
+}

@@ -1,0 +1,59 @@
+package sorts
+
+import (
+	"pmsf/internal/par"
+)
+
+// ParallelMergeSort sorts a with p workers: the input is split into p
+// runs sorted concurrently, then merged pairwise in log2(p) parallel
+// rounds. It is the classic alternative to sample sort that Helman and
+// JáJá's sorting study weighs it against — merge sort moves every
+// element log p times but needs no sampling pass and has no bucket-skew
+// risk; sample sort moves every element twice but pays for splitter
+// selection. BenchmarkAblationParallelSort compares the two on the
+// Bor-EL edge-sort workload.
+func ParallelMergeSort[T any](p int, a []T, less func(x, y T) bool) {
+	n := len(a)
+	const seqCutoff = 1 << 13
+	if p <= 1 || n < seqCutoff {
+		buf := make([]T, n)
+		MergeBottomUp(a, buf, less)
+		return
+	}
+	p = par.Clamp(p, n)
+	// Round p down to a power of two so merge rounds pair up evenly.
+	for p&(p-1) != 0 {
+		p--
+	}
+
+	ranges := par.Split(n, p)
+	buf := make([]T, n)
+	// Phase 1: sort each run in place, concurrently.
+	par.Do(p, func(w int) {
+		lo, hi := ranges[w].Lo, ranges[w].Hi
+		MergeBottomUp(a[lo:hi], buf[lo:hi], less)
+	})
+
+	// Phase 2: log2(p) rounds of pairwise merges, ping-ponging between a
+	// and buf. Each round merges adjacent run pairs; each merge is
+	// handled by one worker (runs shrink in count but grow in size, so
+	// the last rounds are the expensive ones — the known weakness merge
+	// path algorithms fix; see the package comment).
+	src, dst := a, buf
+	runs := make([]par.Range, p)
+	copy(runs, ranges)
+	for len(runs) > 1 {
+		half := len(runs) / 2
+		next := make([]par.Range, half)
+		par.Do(half, func(i int) {
+			left, right := runs[2*i], runs[2*i+1]
+			mergeInto(dst[left.Lo:right.Hi], src[left.Lo:left.Hi], src[left.Hi:right.Hi], less)
+			next[i] = par.Range{Lo: left.Lo, Hi: right.Hi}
+		})
+		runs = next
+		src, dst = dst, src
+	}
+	if &src[0] != &a[0] {
+		copy(a, src)
+	}
+}

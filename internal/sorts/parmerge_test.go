@@ -1,0 +1,67 @@
+package sorts
+
+import (
+	"testing"
+
+	"pmsf/internal/rng"
+)
+
+func TestParallelMergeSortMatchesSequential(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{0, 1, 100, 1 << 13, 1<<14 + 3, 1 << 16} {
+		for _, p := range []int{1, 2, 3, 4, 7, 8} {
+			a := make([]int, n)
+			for i := range a {
+				a[i] = r.Intn(1 << 20)
+			}
+			want := sortedCopy(a)
+			ParallelMergeSort(p, a, intLess)
+			if !equal(a, want) {
+				t.Fatalf("n=%d p=%d: incorrect", n, p)
+			}
+		}
+	}
+}
+
+func TestParallelMergeSortStable(t *testing.T) {
+	r := rng.New(2)
+	a := make([]kv, 1<<15)
+	for i := range a {
+		a[i] = kv{k: r.Intn(8), seq: i}
+	}
+	ParallelMergeSort(4, a, func(x, y kv) bool { return x.k < y.k })
+	for i := 1; i < len(a); i++ {
+		if a[i-1].k == a[i].k && a[i-1].seq > a[i].seq {
+			t.Fatalf("instability at %d", i)
+		}
+	}
+}
+
+func TestParallelMergeSortAllEqual(t *testing.T) {
+	a := make([]int, 1<<14)
+	for i := range a {
+		a[i] = 5
+	}
+	ParallelMergeSort(8, a, intLess)
+	for _, v := range a {
+		if v != 5 {
+			t.Fatal("corrupted")
+		}
+	}
+}
+
+func TestParallelMergeSortAgainstSampleSort(t *testing.T) {
+	r := rng.New(3)
+	n := 1 << 15
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i] = r.Intn(1000)
+		b[i] = a[i]
+	}
+	ParallelMergeSort(8, a, intLess)
+	SampleSort(8, b, intLess, 9)
+	if !equal(a, b) {
+		t.Fatal("parallel sorts disagree")
+	}
+}

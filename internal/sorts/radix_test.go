@@ -1,0 +1,91 @@
+package sorts
+
+import (
+	"math"
+	"testing"
+
+	"pmsf/internal/graph"
+	"pmsf/internal/rng"
+)
+
+func wedgeLessRef(a, b graph.WEdge) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	if a.V != b.V {
+		return a.V < b.V
+	}
+	if a.W != b.W {
+		return a.W < b.W
+	}
+	return a.ID < b.ID
+}
+
+func randomWEdges(n int, seed uint64, weights func(*rng.Xoshiro256) float64) []graph.WEdge {
+	r := rng.New(seed)
+	out := make([]graph.WEdge, n)
+	for i := range out {
+		out[i] = graph.WEdge{
+			U:  int32(r.Intn(1 << 20)),
+			V:  int32(r.Intn(1 << 20)),
+			ID: int32(r.Intn(1 << 28)),
+			W:  weights(r),
+		}
+	}
+	return out
+}
+
+func TestRadixMatchesComparison(t *testing.T) {
+	cases := map[string]func(*rng.Xoshiro256) float64{
+		"uniform":  func(r *rng.Xoshiro256) float64 { return r.Float64() },
+		"negative": func(r *rng.Xoshiro256) float64 { return r.Float64() - 0.5 },
+		"ties":     func(r *rng.Xoshiro256) float64 { return float64(r.Intn(3)) },
+		"huge":     func(r *rng.Xoshiro256) float64 { return math.Exp(40 * (r.Float64() - 0.5)) },
+		"zeros": func(r *rng.Xoshiro256) float64 {
+			if r.Bool() {
+				return math.Copysign(0, -1)
+			}
+			return 0
+		},
+	}
+	for name, wf := range cases {
+		for _, n := range []int{0, 1, 2, 1000, 1 << 15} {
+			a := randomWEdges(n, 7, wf)
+			b := append([]graph.WEdge(nil), a...)
+			RadixSortWEdges(a, make([]graph.WEdge, n))
+			buf := make([]graph.WEdge, n)
+			MergeBottomUp(b, buf, wedgeLessRef)
+			for i := range a {
+				// -0.0 vs +0.0 compare equal; compare fields via keys.
+				if a[i].U != b[i].U || a[i].V != b[i].V || a[i].ID != b[i].ID || a[i].W != b[i].W {
+					t.Fatalf("%s n=%d: order differs at %d: %+v vs %+v", name, n, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRadixSmallBufferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	RadixSortWEdges(make([]graph.WEdge, 10), make([]graph.WEdge, 5))
+}
+
+func TestFloatKeyMonotone(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e30, -1, -1e-300, math.Copysign(0, -1), 0, 1e-300, 1, 1e30, math.Inf(1)}
+	for i := 1; i < len(vals); i++ {
+		a, b := floatKey(vals[i-1]), floatKey(vals[i])
+		if vals[i-1] == vals[i] {
+			if a != b {
+				t.Fatalf("equal floats %g/%g got different keys", vals[i-1], vals[i])
+			}
+			continue
+		}
+		if a >= b {
+			t.Fatalf("keys not monotone at %g < %g", vals[i-1], vals[i])
+		}
+	}
+}

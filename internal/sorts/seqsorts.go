@@ -1,0 +1,80 @@
+package sorts
+
+// The paper's Kruskal baseline uses a NON-recursive merge sort after the
+// authors measured it against qsort, GNU quicksort and recursive merge
+// sort and found it superior for large inputs (Section 5.2). This file
+// provides the competitors so the claim is reproducible
+// (BenchmarkAblationKruskalSort).
+
+// Quicksort sorts a in place with a median-of-three quicksort that falls
+// back to insertion sort below a small cutoff — the classic qsort
+// engineering.
+func Quicksort[T any](a []T, less func(x, y T) bool) {
+	const cutoff = 12
+	for len(a) > cutoff {
+		p := partition(a, less)
+		// Recurse into the smaller half; loop on the larger to bound the
+		// stack at O(log n).
+		if p < len(a)-p-1 {
+			Quicksort(a[:p], less)
+			a = a[p+1:]
+		} else {
+			Quicksort(a[p+1:], less)
+			a = a[:p]
+		}
+	}
+	Insertion(a, less)
+}
+
+// partition performs a Hoare-style partition around the median of the
+// first, middle and last elements and returns the pivot's final index.
+func partition[T any](a []T, less func(x, y T) bool) int {
+	n := len(a)
+	mid := n / 2
+	// Median-of-three into a[0].
+	if less(a[mid], a[0]) {
+		a[mid], a[0] = a[0], a[mid]
+	}
+	if less(a[n-1], a[0]) {
+		a[n-1], a[0] = a[0], a[n-1]
+	}
+	if less(a[n-1], a[mid]) {
+		a[n-1], a[mid] = a[mid], a[n-1]
+	}
+	// Pivot (the median) to position n-2; a[n-1] is a sentinel >= pivot.
+	a[mid], a[n-2] = a[n-2], a[mid]
+	pivot := a[n-2]
+	i, j := 0, n-2
+	for {
+		for i++; less(a[i], pivot); i++ {
+		}
+		for j--; less(pivot, a[j]); j-- {
+		}
+		if i >= j {
+			break
+		}
+		a[i], a[j] = a[j], a[i]
+	}
+	a[i], a[n-2] = a[n-2], a[i]
+	return i
+}
+
+// MergeRecursive sorts a with the textbook top-down recursive merge sort,
+// using buf (>= len(a)) as scratch. Included as the baseline the paper's
+// authors rejected in favor of the bottom-up variant.
+func MergeRecursive[T any](a, buf []T, less func(x, y T) bool) {
+	if len(a) < 2 {
+		return
+	}
+	if len(buf) < len(a) {
+		panic("sorts: merge buffer too small")
+	}
+	mid := len(a) / 2
+	MergeRecursive(a[:mid], buf, less)
+	MergeRecursive(a[mid:], buf, less)
+	copy(buf, a[:mid])
+	// Merging the copied left half with the in-place right half is safe:
+	// the write position i+j never passes the right-half read position
+	// mid+j because i <= mid.
+	mergeInto(a, buf[:mid:mid], a[mid:], less)
+}

@@ -1,0 +1,53 @@
+package sorts
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmsf/internal/rng"
+)
+
+// Hybrid equals MergeBottomUp equals Quicksort on arbitrary inputs for
+// every cutoff — the behaviour-preservation property behind ablation A1.
+func TestHybridCutoffProperty(t *testing.T) {
+	f := func(raw []int16, cutoff uint8) bool {
+		a := make([]int, len(raw))
+		for i, v := range raw {
+			a[i] = int(v)
+		}
+		want := sortedCopy(a)
+		c := int(cutoff)%128 + 1
+		var buf []int
+		if len(a) >= c {
+			buf = make([]int, len(a))
+		}
+		Hybrid(a, buf, c, intLess)
+		return equal(a, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// SampleSort determinism: equal inputs and seeds produce equal outputs
+// at every worker count (the bucket boundaries are seed-driven but the
+// sorted result is unique up to the less function, which is total here).
+func TestSampleSortDeterministicProperty(t *testing.T) {
+	r := rng.New(5)
+	n := 1 << 15
+	base := make([]int, n)
+	for i := range base {
+		base[i] = r.Intn(1 << 30) // effectively distinct
+	}
+	first := append([]int(nil), base...)
+	SampleSort(4, first, intLess, 11)
+	for _, p := range []int{1, 2, 8} {
+		for _, seed := range []uint64{11, 99} {
+			a := append([]int(nil), base...)
+			SampleSort(p, a, intLess, seed)
+			if !equal(a, first) {
+				t.Fatalf("p=%d seed=%d: output differs", p, seed)
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package uf provides union-find (disjoint set union) structures: a
+// sequential version with union by rank and path compression for the
+// Kruskal baseline and the verification oracle, and a lock-free
+// CAS-based version used to merge the subtrees grown concurrently by
+// MST-BC before contraction.
+package uf
+
+import "sync/atomic"
+
+// UnionFind is the sequential disjoint-set structure.
+type UnionFind struct {
+	parent []int32
+	rank   []int8
+	count  int // number of disjoint sets
+}
+
+// New returns n singleton sets 0..n-1.
+func New(n int) *UnionFind {
+	u := &UnionFind{
+		parent: make([]int32, n),
+		rank:   make([]int8, n),
+		count:  n,
+	}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+	return u
+}
+
+// Find returns the representative of x with path halving.
+func (u *UnionFind) Find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of x and y; it reports whether a merge happened
+// (false when they were already in the same set).
+func (u *UnionFind) Union(x, y int32) bool {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return false
+	}
+	if u.rank[rx] < u.rank[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = rx
+	if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+	u.count--
+	return true
+}
+
+// Same reports whether x and y are in one set.
+func (u *UnionFind) Same(x, y int32) bool { return u.Find(x) == u.Find(y) }
+
+// Count returns the number of disjoint sets.
+func (u *UnionFind) Count() int { return u.count }
+
+// Concurrent is a lock-free union-find safe for use from many goroutines.
+// It uses the classic CAS-on-parent scheme with union-by-id (the smaller
+// root becomes the parent is NOT required; we always hang the larger id
+// under the smaller to guarantee progress and avoid cycles) and path
+// halving during finds. Linearizable unions; Find results are roots as of
+// some point during the call.
+type Concurrent struct {
+	parent []atomic.Int32
+}
+
+// NewConcurrent returns n concurrent singleton sets.
+func NewConcurrent(n int) *Concurrent {
+	c := &Concurrent{parent: make([]atomic.Int32, n)}
+	for i := range c.parent {
+		c.parent[i].Store(int32(i))
+	}
+	return c
+}
+
+// Find returns a root of x's set, applying path halving.
+func (c *Concurrent) Find(x int32) int32 {
+	for {
+		p := c.parent[x].Load()
+		if p == x {
+			return x
+		}
+		gp := c.parent[p].Load()
+		if gp != p {
+			// Path halving: best effort, failure is harmless.
+			c.parent[x].CompareAndSwap(p, gp)
+		}
+		x = p
+	}
+}
+
+// Union merges the sets containing x and y and reports whether a merge
+// happened. Roots are ordered by id: the larger root is linked under the
+// smaller, which (with CAS) prevents cycles among concurrent unions.
+func (c *Concurrent) Union(x, y int32) bool {
+	for {
+		rx := c.Find(x)
+		ry := c.Find(y)
+		if rx == ry {
+			return false
+		}
+		if rx > ry {
+			rx, ry = ry, rx
+		}
+		// Link larger root ry under smaller root rx.
+		if c.parent[ry].CompareAndSwap(ry, rx) {
+			return true
+		}
+		// ry stopped being a root; retry with fresh roots.
+	}
+}
+
+// Same reports whether x and y are currently in one set. In the presence
+// of concurrent unions the answer is only advisory; callers in this
+// library invoke it after all unions have completed.
+func (c *Concurrent) Same(x, y int32) bool {
+	for {
+		rx := c.Find(x)
+		ry := c.Find(y)
+		if rx == ry {
+			return true
+		}
+		// rx may have been linked under something else meanwhile.
+		if c.parent[rx].Load() == rx {
+			return false
+		}
+	}
+}
+
+// Len returns the number of elements.
+func (c *Concurrent) Len() int { return len(c.parent) }

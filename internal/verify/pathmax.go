@@ -1,0 +1,74 @@
+package verify
+
+import (
+	"fmt"
+
+	"pmsf/internal/graph"
+	"pmsf/internal/par"
+	"pmsf/internal/pathmax"
+)
+
+// CycleProperty verifies minimality through the cycle property instead of
+// a reference computation: a spanning forest F of G is minimum iff every
+// non-forest edge (u,v) is F-heavy — its weight is at least the maximum
+// edge weight on the F-path between u and v. Comparisons are by weight
+// only: with duplicate weights the MSF is not unique, and any forest
+// where no non-forest edge is STRICTLY lighter than a path edge it could
+// replace is minimum. This is the notion the paper's Lemma 3 argues
+// with, and it is an oracle fully independent of the Kruskal reference
+// used by Minimum.
+//
+// The check runs in O(n log n + m log n) via the binary-lifting path-max
+// index (internal/pathmax). f must already be structurally valid (call
+// Forest first, or use Full).
+func CycleProperty(g *graph.EdgeList, f *graph.Forest) error {
+	if g.N == 0 {
+		return nil
+	}
+	inForest := make([]bool, len(g.Edges))
+	for _, id := range f.EdgeIDs {
+		inForest[id] = true
+	}
+	idx := pathmax.Build(g, f.EdgeIDs)
+	// Queries are independent; run them in parallel and keep the first
+	// (lowest-id) failure for a deterministic error message.
+	p := par.DefaultWorkers()
+	fails := make([]error, par.Clamp(p, len(g.Edges)))
+	par.For(p, len(g.Edges), func(w, lo, hi int) {
+		for id := lo; id < hi; id++ {
+			if inForest[id] {
+				continue
+			}
+			e := g.Edges[id]
+			if e.U == e.V {
+				continue
+			}
+			hm := idx.Query(e.U, e.V)
+			if hm < 0 {
+				fails[w] = fmt.Errorf("verify: non-forest edge %d connects two trees", id)
+				return
+			}
+			if e.W < g.Edges[hm].W {
+				fails[w] = fmt.Errorf(
+					"verify: cycle property violated: non-forest edge %d (w=%g) is lighter than forest edge %d (w=%g) on its path",
+					id, e.W, hm, g.Edges[hm].W)
+				return
+			}
+		}
+	})
+	for _, err := range fails {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Full runs every check: structural validity, weight cross-check against
+// the independent Kruskal reference, and the cycle property.
+func Full(g *graph.EdgeList, f *graph.Forest) error {
+	if err := Minimum(g, f); err != nil {
+		return err
+	}
+	return CycleProperty(g, f)
+}

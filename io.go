@@ -1,0 +1,94 @@
+package pmsf
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"pmsf/internal/graph"
+)
+
+// GraphFormat names an on-disk graph format: "binary" (the library's
+// native format), "text" ("n m" header plus "u v w" lines), "dimacs"
+// (DIMACS edge/arc challenge format) or "metis" (METIS adjacency
+// format).
+type GraphFormat = graph.Format
+
+// Graph format constants.
+const (
+	FormatBinary = graph.FormatBinary
+	FormatText   = graph.FormatText
+	FormatDIMACS = graph.FormatDIMACS
+	FormatMETIS  = graph.FormatMETIS
+)
+
+// ParseGraphFormat resolves a format name ("binary", "text", "dimacs",
+// "metis", case insensitive).
+func ParseGraphFormat(name string) (GraphFormat, error) {
+	return graph.ParseFormat(name)
+}
+
+// ReadGraph reads a graph from r in the given format and validates it.
+func ReadGraph(r io.Reader, format GraphFormat) (*Graph, error) {
+	g, err := format.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// WriteGraph writes g to w in the given format.
+func WriteGraph(w io.Writer, g *Graph, format GraphFormat) error {
+	if g == nil {
+		return fmt.Errorf("pmsf: nil graph")
+	}
+	return format.Write(w, g)
+}
+
+// ReadGraphFile reads a graph from a file.
+func ReadGraphFile(path string, format GraphFormat) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadGraph(f, format)
+}
+
+// WriteGraphFile writes a graph to a file.
+func WriteGraphFile(path string, g *Graph, format GraphFormat) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteGraph(f, g, format); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// GraphStatistics summarizes a graph's structure (density, degree
+// distribution, components) — the Section 5.1 characterization of the
+// paper's input families.
+type GraphStatistics = graph.Stats
+
+// ComputeGraphStatistics calculates GraphStatistics for g.
+func ComputeGraphStatistics(g *Graph) GraphStatistics {
+	return graph.ComputeStats(g)
+}
+
+// WriteForest writes a computed forest (its edge ids, component count
+// and weight) in a small text format readable by ReadForest.
+func WriteForest(w io.Writer, f *Forest) error {
+	return graph.WriteForest(w, f)
+}
+
+// ReadForest reads a forest written by WriteForest. Use Verify with the
+// original graph to validate it.
+func ReadForest(r io.Reader) (*Forest, error) {
+	return graph.ReadForest(r)
+}

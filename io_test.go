@@ -1,0 +1,107 @@
+package pmsf_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pmsf"
+)
+
+func TestGraphIORoundTrip(t *testing.T) {
+	g := pmsf.RandomGraph(200, 800, 1)
+	for _, format := range []pmsf.GraphFormat{
+		pmsf.FormatBinary, pmsf.FormatText, pmsf.FormatDIMACS,
+	} {
+		var buf bytes.Buffer
+		if err := pmsf.WriteGraph(&buf, g, format); err != nil {
+			t.Fatalf("%v: %v", format, err)
+		}
+		got, err := pmsf.ReadGraph(&buf, format)
+		if err != nil {
+			t.Fatalf("%v: %v", format, err)
+		}
+		if got.N != g.N || len(got.Edges) != len(g.Edges) {
+			t.Fatalf("%v: shape changed", format)
+		}
+	}
+}
+
+func TestGraphFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.pmsf")
+	g := pmsf.MeshGraph(12, 12, 2)
+	if err := pmsf.WriteGraphFile(path, g, pmsf.FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pmsf.ReadGraphFile(path, pmsf.FormatBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != g.N {
+		t.Fatal("file round trip changed shape")
+	}
+	if _, err := pmsf.ReadGraphFile(filepath.Join(dir, "missing"), pmsf.FormatBinary); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := pmsf.WriteGraphFile(filepath.Join(dir, "no", "such", "dir", "x"), g, pmsf.FormatBinary); err == nil {
+		t.Fatal("bad path accepted")
+	}
+	if err := pmsf.WriteGraph(os.Stdout, nil, pmsf.FormatBinary); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestParseGraphFormat(t *testing.T) {
+	f, err := pmsf.ParseGraphFormat("dimacs")
+	if err != nil || f != pmsf.FormatDIMACS {
+		t.Fatal("parse failed")
+	}
+	if _, err := pmsf.ParseGraphFormat("nope"); err == nil {
+		t.Fatal("unknown accepted")
+	}
+}
+
+func TestForestIOAndVerify(t *testing.T) {
+	g := pmsf.RandomGraph(300, 1200, 3)
+	forest, _, err := pmsf.MinimumSpanningForest(g, pmsf.BorFAL, pmsf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pmsf.WriteForest(&buf, forest); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pmsf.ReadForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pmsf.Verify(g, got); err != nil {
+		t.Fatalf("round-tripped forest failed verification: %v", err)
+	}
+}
+
+func TestComputeGraphStatistics(t *testing.T) {
+	g := pmsf.MeshGraph(10, 10, 1)
+	s := pmsf.ComputeGraphStatistics(g)
+	if s.N != 100 || s.Components != 1 || s.MaxDegree != 4 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestReweightGraphPublic(t *testing.T) {
+	g := pmsf.RandomGraph(400, 1600, 1)
+	for _, d := range []pmsf.WeightDistribution{
+		pmsf.WeightsUniform, pmsf.WeightsExponential, pmsf.WeightsSmallInts, pmsf.WeightsStructured,
+	} {
+		rw := pmsf.ReweightGraph(g, d, 5)
+		forest, _, err := pmsf.MinimumSpanningForest(rw, pmsf.BorFAL, pmsf.Options{Workers: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if err := pmsf.Verify(rw, forest); err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Package pmsf computes minimum spanning forests of sparse graphs on
+// shared-memory multiprocessors. It is a faithful reproduction of the
+// algorithms of Bader and Cong, "Fast Shared-Memory Algorithms for
+// Computing the Minimum Spanning Forest of Sparse Graphs" (IPDPS 2004):
+// four parallel Borůvka variants distinguished by their graph
+// representation and compact-graph strategy (Bor-EL, Bor-AL, Bor-ALM,
+// Bor-FAL), the paper's new hybrid of concurrent Prim instances with
+// Borůvka contraction (MST-BC), and the three sequential baselines the
+// paper measures against (Prim, Kruskal, Borůvka).
+//
+// Quick start:
+//
+//	g := pmsf.RandomGraph(100_000, 500_000, 42)
+//	forest, _, err := pmsf.MinimumSpanningForest(g, pmsf.MSTBC, pmsf.Options{})
+//	if err != nil { ... }
+//	fmt.Println(forest.Weight, forest.Components)
+//
+// If the input is disconnected the result is the minimum spanning forest:
+// an MST of every connected component.
+package pmsf
+
+import (
+	"fmt"
+
+	"pmsf/internal/boruvka"
+	"pmsf/internal/filter"
+	"pmsf/internal/graph"
+	"pmsf/internal/mstbc"
+	"pmsf/internal/seq"
+	"pmsf/internal/verify"
+)
+
+// Edge is one undirected edge: endpoints in [0, N) and a weight.
+type Edge = graph.Edge
+
+// Graph is an undirected graph given as N vertices and an edge list.
+// Self-loops and parallel edges are tolerated.
+type Graph = graph.EdgeList
+
+// Forest is a minimum spanning forest: the indices of the selected edges
+// in the input edge list, the total weight, and the component count.
+type Forest = graph.Forest
+
+// BoruvkaStats is the per-iteration instrumentation of the Borůvka
+// variants (find-min / connect-components / compact-graph times and the
+// working-list sizes that regenerate Table 1 and Fig. 2 of the paper).
+type BoruvkaStats = boruvka.Stats
+
+// MSTBCStats is the per-level instrumentation of the MST-BC algorithm.
+type MSTBCStats = mstbc.Stats
+
+// FilterStats is the instrumentation of the sampling filter (sample
+// size, discarded edge count, inner MSF stats).
+type FilterStats = filter.Stats
+
+// Algorithm selects an MSF implementation.
+type Algorithm int
+
+const (
+	// BorEL is parallel Borůvka on an edge list; compact-graph is one
+	// global parallel sample sort.
+	BorEL Algorithm = iota
+	// BorAL is parallel Borůvka on adjacency arrays; compact-graph is a
+	// two-level sort (vertices by supervertex, then each adjacency list).
+	BorAL
+	// BorALM is Bor-AL with private per-worker memory management in
+	// place of shared-heap allocation.
+	BorALM
+	// BorFAL is parallel Borůvka on the paper's flexible adjacency list;
+	// compact-graph degenerates to pointer appends and find-min filters
+	// stale edges through a lookup table.
+	BorFAL
+	// MSTBC is the paper's new algorithm: p coordinated Prim instances
+	// growing disjoint subtrees, plus Borůvka contraction and recursion.
+	MSTBC
+	// Filter is the sampling-based edge-elimination extension the paper's
+	// Section 3 motivates (Cole-Klein-Tarjan / Katriel-Sanders-Träff
+	// cycle-property filtering): sample edges, build the sample's MSF
+	// with Bor-FAL, discard F-heavy edges via parallel path-maximum
+	// queries, and finish on the (expected O(n)-edge) remainder.
+	Filter
+	// SeqPrim is sequential Prim's algorithm with a binary heap.
+	SeqPrim
+	// SeqKruskal is sequential Kruskal's algorithm with a non-recursive
+	// merge sort.
+	SeqKruskal
+	// SeqBoruvka is the sequential m log n Borůvka baseline.
+	SeqBoruvka
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case BorEL:
+		return "Bor-EL"
+	case BorAL:
+		return "Bor-AL"
+	case BorALM:
+		return "Bor-ALM"
+	case BorFAL:
+		return "Bor-FAL"
+	case MSTBC:
+		return "MST-BC"
+	case Filter:
+		return "Filter"
+	case SeqPrim:
+		return "Prim"
+	case SeqKruskal:
+		return "Kruskal"
+	case SeqBoruvka:
+		return "Boruvka"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Algorithms lists every implementation, parallel first.
+func Algorithms() []Algorithm {
+	return []Algorithm{BorEL, BorAL, BorALM, BorFAL, MSTBC, Filter, SeqPrim, SeqKruskal, SeqBoruvka}
+}
+
+// ParallelAlgorithms lists the five parallel implementations.
+func ParallelAlgorithms() []Algorithm {
+	return []Algorithm{BorEL, BorAL, BorALM, BorFAL, MSTBC, Filter}
+}
+
+// Parallel reports whether the algorithm uses multiple workers.
+func (a Algorithm) Parallel() bool { return a <= Filter }
+
+// ParseAlgorithm resolves a paper-style name ("Bor-FAL", case
+// insensitive, '-' optional) to an Algorithm.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for _, a := range Algorithms() {
+		if equalFold(name, a.String()) || equalFold(name, stripDash(a.String())) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("pmsf: unknown algorithm %q", name)
+}
+
+func stripDash(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] != '-' {
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// Options configures a run. The zero value is a sensible default: all
+// available processors, default sequential cutoff, no instrumentation.
+type Options struct {
+	// Workers is the number of parallel workers p; 0 means GOMAXPROCS.
+	// Sequential algorithms ignore it.
+	Workers int
+	// BaseSize is MST-BC's sequential cutoff n_b; 0 means the default.
+	BaseSize int
+	// Seed drives the randomized components (sample-sort splitters,
+	// MST-BC claim-order permutation). The forest produced is a correct
+	// MSF for every seed.
+	Seed uint64
+	// CollectStats enables per-iteration instrumentation, returned in
+	// Stats.
+	CollectStats bool
+}
+
+// Stats carries optional instrumentation; at most one field is non-nil,
+// matching the algorithm family that ran.
+type Stats struct {
+	Boruvka *BoruvkaStats
+	MSTBC   *MSTBCStats
+	Filter  *FilterStats
+}
+
+// MinimumSpanningForest computes the MSF of g with the chosen algorithm.
+// It validates the input graph and returns an error for malformed inputs
+// or unknown algorithms.
+func MinimumSpanningForest(g *Graph, algo Algorithm, opt Options) (*Forest, *Stats, error) {
+	if g == nil {
+		return nil, nil, fmt.Errorf("pmsf: nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{}
+	bopt := boruvka.Options{Workers: opt.Workers, Stats: opt.CollectStats, Seed: opt.Seed}
+	switch algo {
+	case BorEL:
+		f, s := boruvka.EL(g, bopt)
+		stats.Boruvka = s
+		return f, stats, nil
+	case BorAL:
+		f, s := boruvka.AL(g, bopt)
+		stats.Boruvka = s
+		return f, stats, nil
+	case BorALM:
+		f, s := boruvka.ALM(g, bopt)
+		stats.Boruvka = s
+		return f, stats, nil
+	case BorFAL:
+		f, s := boruvka.FAL(g, bopt)
+		stats.Boruvka = s
+		return f, stats, nil
+	case MSTBC:
+		f, s := mstbc.Run(g, mstbc.Options{
+			Workers: opt.Workers, BaseSize: opt.BaseSize,
+			Seed: opt.Seed, Stats: opt.CollectStats,
+		})
+		stats.MSTBC = s
+		return f, stats, nil
+	case Filter:
+		f, s := filter.Run(g, filter.Options{
+			Workers: opt.Workers, Seed: opt.Seed, Stats: opt.CollectStats,
+		})
+		stats.Filter = s
+		return f, stats, nil
+	case SeqPrim:
+		return seq.Prim(g), stats, nil
+	case SeqKruskal:
+		return seq.Kruskal(g), stats, nil
+	case SeqBoruvka:
+		return seq.Boruvka(g), stats, nil
+	}
+	return nil, nil, fmt.Errorf("pmsf: unknown algorithm %v", algo)
+}
+
+// Verify checks that f is a valid minimum spanning forest of g by
+// structural validation plus comparison against an independently computed
+// reference. Intended for tests and example programs; it costs a full
+// sequential MSF computation.
+func Verify(g *Graph, f *Forest) error {
+	return verify.Full(g, f)
+}
+
+// NewGraph constructs a graph from an edge slice. The slice is used
+// directly (not copied).
+func NewGraph(n int, edges []Edge) *Graph {
+	return &Graph{N: n, Edges: edges}
+}

@@ -1,0 +1,207 @@
+package pmsf_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pmsf"
+)
+
+func TestAllAlgorithmsAgree(t *testing.T) {
+	graphs := map[string]*pmsf.Graph{
+		"random":    pmsf.RandomGraph(2000, 8000, 1),
+		"sparse":    pmsf.RandomGraph(2000, 2100, 2),
+		"mesh":      pmsf.MeshGraph(40, 40, 3),
+		"2d60":      pmsf.Mesh2D60Graph(40, 40, 4),
+		"3d40":      pmsf.Mesh3D40Graph(11, 5),
+		"geometric": pmsf.GeometricGraph(800, 6, 6),
+		"str0":      pmsf.Str0Graph(512, 7),
+		"str1":      pmsf.Str1Graph(500, 8),
+		"str2":      pmsf.Str2Graph(500, 9),
+		"str3":      pmsf.Str3Graph(500, 10),
+	}
+	for gname, g := range graphs {
+		var refWeight float64
+		var refEdges, refComps int
+		for i, algo := range pmsf.Algorithms() {
+			f, stats, err := pmsf.MinimumSpanningForest(g, algo, pmsf.Options{Workers: 4, Seed: 11})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", gname, algo, err)
+			}
+			if stats == nil {
+				t.Fatalf("%s/%v: nil stats", gname, algo)
+			}
+			if i == 0 {
+				refWeight, refEdges, refComps = f.Weight, f.Size(), f.Components
+				if err := pmsf.Verify(g, f); err != nil {
+					t.Fatalf("%s/%v: %v", gname, algo, err)
+				}
+				continue
+			}
+			if d := f.Weight - refWeight; d > 1e-9 || d < -1e-9 {
+				t.Errorf("%s/%v: weight %g != %g", gname, algo, f.Weight, refWeight)
+			}
+			if f.Size() != refEdges || f.Components != refComps {
+				t.Errorf("%s/%v: shape (%d,%d) != (%d,%d)",
+					gname, algo, f.Size(), f.Components, refEdges, refComps)
+			}
+		}
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	g := pmsf.RandomGraph(1000, 4000, 1)
+	f, stats, err := pmsf.MinimumSpanningForest(g, pmsf.BorFAL, pmsf.Options{CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != g.N-1 {
+		t.Fatalf("forest size %d", f.Size())
+	}
+	if stats.Boruvka == nil || len(stats.Boruvka.Iters) == 0 {
+		t.Fatal("Borůvka stats missing")
+	}
+	if stats.Boruvka.Algorithm != "Bor-FAL" {
+		t.Fatalf("stats algorithm %q", stats.Boruvka.Algorithm)
+	}
+	if stats.MSTBC != nil {
+		t.Fatal("unexpected MSTBC stats")
+	}
+
+	_, stats, err = pmsf.MinimumSpanningForest(g, pmsf.MSTBC, pmsf.Options{CollectStats: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MSTBC == nil {
+		t.Fatal("MSTBC stats missing")
+	}
+}
+
+func TestStatsOffByDefault(t *testing.T) {
+	g := pmsf.RandomGraph(500, 2000, 1)
+	_, stats, err := pmsf.MinimumSpanningForest(g, pmsf.BorEL, pmsf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Boruvka == nil {
+		t.Fatal("stats object missing")
+	}
+	if len(stats.Boruvka.Iters) != 0 {
+		t.Fatal("per-iteration stats collected without CollectStats")
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, _, err := pmsf.MinimumSpanningForest(nil, pmsf.BorEL, pmsf.Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	bad := pmsf.NewGraph(2, []pmsf.Edge{{U: 0, V: 9, W: 1}})
+	if _, _, err := pmsf.MinimumSpanningForest(bad, pmsf.BorEL, pmsf.Options{}); err == nil {
+		t.Fatal("invalid edge accepted")
+	}
+	g := pmsf.RandomGraph(10, 20, 1)
+	if _, _, err := pmsf.MinimumSpanningForest(g, pmsf.Algorithm(99), pmsf.Options{}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	cases := map[string]pmsf.Algorithm{
+		"Bor-EL":  pmsf.BorEL,
+		"bor-el":  pmsf.BorEL,
+		"BOREL":   pmsf.BorEL,
+		"bor-fal": pmsf.BorFAL,
+		"mstbc":   pmsf.MSTBC,
+		"MST-BC":  pmsf.MSTBC,
+		"prim":    pmsf.SeqPrim,
+		"Kruskal": pmsf.SeqKruskal,
+		"boruvka": pmsf.SeqBoruvka,
+	}
+	for in, want := range cases {
+		got, err := pmsf.ParseAlgorithm(in)
+		if err != nil || got != want {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := pmsf.ParseAlgorithm("dijkstra"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestAlgorithmMetadata(t *testing.T) {
+	if len(pmsf.Algorithms()) != 9 || len(pmsf.ParallelAlgorithms()) != 6 {
+		t.Fatal("algorithm lists wrong")
+	}
+	for _, a := range pmsf.ParallelAlgorithms() {
+		if !a.Parallel() {
+			t.Errorf("%v not marked parallel", a)
+		}
+	}
+	if pmsf.SeqPrim.Parallel() {
+		t.Error("Prim marked parallel")
+	}
+	if pmsf.Algorithm(99).String() == "" {
+		t.Error("unknown algorithm has empty String")
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	// Same options → the same forest, for every algorithm. MST-BC is
+	// non-deterministic in execution order (concurrent claiming), so its
+	// weight may only agree up to floating-point summation order; the
+	// Borůvka variants and sequential baselines are exactly repeatable.
+	g := pmsf.RandomGraph(1000, 3000, 5)
+	for _, algo := range pmsf.Algorithms() {
+		f1, _, err1 := pmsf.MinimumSpanningForest(g, algo, pmsf.Options{Workers: 3, Seed: 9})
+		f2, _, err2 := pmsf.MinimumSpanningForest(g, algo, pmsf.Options{Workers: 3, Seed: 9})
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if f1.Size() != f2.Size() {
+			t.Errorf("%v: forest sizes differ", algo)
+		}
+		d := f1.Weight - f2.Weight
+		if d > 1e-9 || d < -1e-9 {
+			t.Errorf("%v: weights differ: %v vs %v", algo, f1.Weight, f2.Weight)
+		}
+		if algo != pmsf.MSTBC && f1.Weight != f2.Weight {
+			t.Errorf("%v: not exactly repeatable", algo)
+		}
+	}
+}
+
+func ExampleMinimumSpanningForest() {
+	g := pmsf.NewGraph(4, []pmsf.Edge{
+		{U: 0, V: 1, W: 1.0},
+		{U: 1, V: 2, W: 2.0},
+		{U: 2, V: 3, W: 4.0},
+		{U: 0, V: 3, W: 3.0},
+		{U: 0, V: 2, W: 5.0},
+	})
+	forest, _, err := pmsf.MinimumSpanningForest(g, pmsf.MSTBC, pmsf.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("weight=%.0f edges=%d components=%d\n",
+		forest.Weight, forest.Size(), forest.Components)
+	// Output: weight=6 edges=3 components=1
+}
+
+func ExampleAlgorithm_String() {
+	fmt.Println(pmsf.BorFAL, pmsf.MSTBC, pmsf.SeqPrim)
+	// Output: Bor-FAL MST-BC Prim
+}
+
+func TestPermuteGraph(t *testing.T) {
+	g := pmsf.RandomGraph(300, 900, 1)
+	pg := pmsf.PermuteGraph(g, 2)
+	f1, _, err1 := pmsf.MinimumSpanningForest(g, pmsf.SeqKruskal, pmsf.Options{})
+	f2, _, err2 := pmsf.MinimumSpanningForest(pg, pmsf.SeqKruskal, pmsf.Options{})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	// Relabeling preserves the MSF weight exactly (same edge multiset).
+	if f1.Weight != f2.Weight {
+		t.Fatalf("permutation changed MSF weight: %g vs %g", f1.Weight, f2.Weight)
+	}
+}
