@@ -18,6 +18,7 @@ import (
 	"pmsf/internal/gen"
 	"pmsf/internal/graph"
 	"pmsf/internal/mstbc"
+	"pmsf/internal/obs"
 	"pmsf/internal/par"
 	"pmsf/internal/seq"
 	"pmsf/internal/sorts"
@@ -424,4 +425,28 @@ func BenchmarkAblationELSortEngine(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkObsOverhead measures the observability tax on Bor-EL: the
+// disabled path (nil collector, metrics off) must match the
+// uninstrumented implementation within noise, while the traced run shows
+// what full span collection costs. Allocation reporting pins the
+// disabled path at zero obs-attributable allocations beyond the
+// algorithm's own.
+func BenchmarkObsOverhead(b *testing.B) {
+	g := randomGraph(6)
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			boruvka.EL(g, boruvka.Options{Seed: 1})
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := obs.NewCollector()
+			boruvka.EL(g, boruvka.Options{Seed: 1, Trace: c})
+			if len(c.Spans()) == 0 {
+				b.Fatal("no spans recorded")
+			}
+		}
+	})
 }

@@ -5,10 +5,16 @@
 //
 //	msf-bench [-exp all|table1|fig2|fig3|fig4|fig5|fig6|model]
 //	          [-scale small|medium|paper] [-seed N] [-p 1,2,4,8] [-csv]
+//	msf-bench -algo Bor-FAL [-trace out.json] [-metrics] [-scale ...]
 //
 // The paper's inputs are 1M-vertex graphs (-scale paper); the default
 // small scale runs every experiment in seconds. Wall-clock parallel
 // speedups require as many hardware cores as the largest -p entry.
+//
+// The -algo form runs one algorithm once with full span tracing and
+// prints its per-phase report; -trace additionally writes a Chrome
+// trace-event file (load in chrome://tracing or Perfetto), -metrics
+// enables the process-wide kernel counters and prints the run summary.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"strings"
 
 	"pmsf/internal/bench"
+	"pmsf/internal/report"
 )
 
 func main() {
@@ -30,6 +37,9 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	jsonFlag := flag.Bool("json", false, "emit JSON instead of aligned text")
 	outDir := flag.String("o", "", "also write each table to <dir>/<table id>.{txt,csv}")
+	algoFlag := flag.String("algo", "", "run one algorithm with span tracing instead of the experiment suite")
+	traceOut := flag.String("trace", "", "with -algo: write a Chrome trace-event JSON file to this path")
+	metricsFlag := flag.Bool("metrics", false, "with -algo: enable process-wide counters and print the run summary")
 	flag.Parse()
 
 	scale, err := bench.ParseScale(*scaleFlag)
@@ -39,6 +49,12 @@ func main() {
 	ps, err := parseWorkers(*workers)
 	if err != nil {
 		fatal(err)
+	}
+	if *algoFlag != "" {
+		if err := profileRun(*algoFlag, scale, *seed, ps[0], *traceOut, *metricsFlag, *jsonFlag); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	cfg := bench.Config{Scale: scale, Seed: *seed, Workers: ps}
 
@@ -75,6 +91,55 @@ func main() {
 			}
 		}
 	}
+}
+
+// profileRun executes the -algo path: one traced run, per-phase report
+// on stdout, optional Chrome trace file and metrics summary.
+func profileRun(algo string, scale bench.Scale, seed uint64, workers int, traceOut string, metrics, jsonOut bool) error {
+	res, err := bench.ProfileRun(bench.ProfileConfig{
+		Algo: algo, Scale: scale, Seed: seed, Workers: workers, Metrics: metrics,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: n=%d m=%d, forest weight %.4f, %d component(s)\n",
+		res.Algorithm, res.Graph.N, len(res.Graph.Edges), res.Forest.Weight, res.Forest.Components)
+	switch {
+	case res.Stats.Boruvka != nil:
+		err = report.Boruvka(os.Stdout, res.Stats.Boruvka)
+	case res.Stats.MSTBC != nil:
+		err = report.MSTBC(os.Stdout, res.Stats.MSTBC)
+	case res.Stats.Filter != nil:
+		err = report.Filter(os.Stdout, res.Stats.Filter)
+	}
+	if err != nil {
+		return err
+	}
+	if metrics {
+		if jsonOut {
+			err = res.Summary.WriteJSON(os.Stdout)
+		} else {
+			err = report.Summary(os.Stdout, res.Summary)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := res.Trace.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d spans written to %s\n", len(res.Trace.Spans()), traceOut)
+	}
+	return nil
 }
 
 // saveTable writes the table to <dir>/<id>.txt or .csv.

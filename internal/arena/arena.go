@@ -5,6 +5,20 @@
 // performs no shared-allocator work and generates no per-list garbage.
 package arena
 
+import (
+	"unsafe"
+
+	"pmsf/internal/obs"
+)
+
+// grew reports n freshly allocated elements of size elemSize to the
+// process-wide arena-bytes counter when metrics are enabled.
+func grew(n int, elemSize uintptr) {
+	if obs.MetricsOn() {
+		obs.ArenaBytes.Add(int64(n) * int64(elemSize))
+	}
+}
+
 // Slab hands out subslices of type T carved from private pages. It is NOT
 // safe for concurrent use: create one per worker.
 //
@@ -36,6 +50,7 @@ func (s *Slab[T]) Alloc(n int) []T {
 		// Oversized request: dedicated page inserted behind the active one
 		// so the active page keeps filling.
 		page := make([]T, n)
+		grew(n, unsafe.Sizeof(page[0]))
 		if s.active < 0 {
 			s.pages = append(s.pages, page)
 			s.active = 0
@@ -66,7 +81,9 @@ func (s *Slab[T]) advance(n int) {
 			return
 		}
 	}
-	s.pages = append(s.pages, make([]T, s.pageSize))
+	page := make([]T, s.pageSize)
+	grew(s.pageSize, unsafe.Sizeof(page[0]))
+	s.pages = append(s.pages, page)
 	s.active = len(s.pages) - 1
 	s.off = 0
 }

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+
+	"pmsf"
+	"pmsf/internal/gen"
+	"pmsf/internal/graph"
+	"pmsf/internal/obs"
+)
+
+// ProfileConfig configures a single traced run (the msf-bench -algo
+// path).
+type ProfileConfig struct {
+	Algo    string // paper-style algorithm name, e.g. "Bor-FAL"
+	Scale   Scale
+	Ratio   int // edges = Ratio × n for the random input; 0 means 3
+	Seed    uint64
+	Workers int  // 0 means GOMAXPROCS
+	Metrics bool // enable process-wide counters for the run
+}
+
+// ProfileResult is the artifact bundle of one traced run.
+type ProfileResult struct {
+	Algorithm pmsf.Algorithm
+	Graph     *graph.EdgeList
+	Forest    *graph.Forest
+	Stats     *pmsf.Stats
+	Trace     *obs.Collector
+	Summary   *obs.Summary
+}
+
+// ProfileRun runs one algorithm on a random input with full span tracing
+// and returns the trace, the per-phase stats, and the machine-readable
+// summary. The counters in the summary are only populated when
+// cfg.Metrics is set (they are reset at the start of the run so the
+// summary describes this run alone).
+func ProfileRun(cfg ProfileConfig) (*ProfileResult, error) {
+	algo, err := pmsf.ParseAlgorithm(cfg.Algo)
+	if err != nil {
+		return nil, err
+	}
+	ratio := cfg.Ratio
+	if ratio <= 0 {
+		ratio = 3
+	}
+	n := cfg.Scale.BaseN()
+	g := gen.Random(n, ratio*n, cfg.Seed)
+
+	var reg *obs.Registry
+	if cfg.Metrics {
+		reg = obs.Default()
+		reg.Reset()
+		obs.EnableMetrics(true)
+		defer obs.EnableMetrics(false)
+	}
+	tr := obs.NewCollector()
+	f, stats, err := pmsf.MinimumSpanningForest(g, algo, pmsf.Options{
+		Workers: cfg.Workers, Seed: cfg.Seed, CollectStats: true, Trace: tr,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: profile run failed: %w", err)
+	}
+	return &ProfileResult{
+		Algorithm: algo,
+		Graph:     g,
+		Forest:    f,
+		Stats:     stats,
+		Trace:     tr,
+		Summary:   tr.Summarize(reg),
+	}, nil
+}

@@ -4,6 +4,7 @@ import (
 	"pmsf/internal/arena"
 	"pmsf/internal/cc"
 	"pmsf/internal/graph"
+	"pmsf/internal/obs"
 	"pmsf/internal/par"
 	"pmsf/internal/sorts"
 )
@@ -158,8 +159,7 @@ func (m *alMem) output(n int, old []graph.AdjEntry) []graph.AdjEntry {
 func runAL(g *graph.EdgeList, opt Options, arenaMode bool, name string) (*graph.Forest, *Stats) {
 	p := opt.workers()
 	cutoff := opt.cutoff()
-	stats := &Stats{Algorithm: name, Workers: p}
-	sw := stopwatch{enabled: opt.Stats}
+	c, root := obsStart(opt, name, p)
 	mem := newALMem(arenaMode, p)
 
 	adj := graph.BuildAdj(g)
@@ -177,52 +177,62 @@ func runAL(g *graph.EdgeList, opt Options, arenaMode bool, name string) (*graph.
 		if total == 0 {
 			break
 		}
-		var it IterStats
-		it.N = st.n
-		it.ListSize = total
+		it := root.Child("iteration")
+		it.SetInt("n", int64(st.n))
+		it.SetInt("list_size", total)
 
 		// Step 1: find-min over each adjacency list.
-		sw.begin()
+		step := it.Child("find-min")
 		parent := mem.vertexInts(0, st.n)
 		sel := mem.vertexInts(1, st.n)
-		par.ForDynamic(p, st.n, 512, func(_, lo, hi int) {
-			for v := lo; v < hi; v++ {
-				list := st.adj(int32(v))
-				if len(list) == 0 {
-					parent[v] = int32(v)
-					continue
-				}
-				best := 0
-				for i := 1; i < len(list); i++ {
-					if list[i].W < list[best].W ||
-						(list[i].W == list[best].W && list[i].EID < list[best].EID) {
-						best = i
+		c.Labeled(name, "find-min", func() {
+			par.ForDynamic(p, st.n, 512, func(_, lo, hi int) {
+				for v := lo; v < hi; v++ {
+					list := st.adj(int32(v))
+					if len(list) == 0 {
+						parent[v] = int32(v)
+						continue
 					}
+					best := 0
+					for i := 1; i < len(list); i++ {
+						if list[i].W < list[best].W ||
+							(list[i].W == list[best].W && list[i].EID < list[best].EID) {
+							best = i
+						}
+					}
+					parent[v] = list[best].To
+					sel[v] = list[best].EID
 				}
-				parent[v] = list[best].To
-				sel[v] = list[best].EID
-			}
+			})
+			ids = harvest(p, parent, sel, ids)
 		})
-		ids = harvest(p, parent, sel, ids)
-		sw.end(&it.Steps.FindMin)
+		step.End()
 
 		// Step 2: connect-components.
-		sw.begin()
-		labels, k := cc.Resolve(p, parent)
-		sw.end(&it.Steps.ConnectComponents)
+		step = it.Child("connect-components")
+		var labels []int32
+		var k int
+		c.Labeled(name, "connect-components", func() {
+			labels, k = cc.Resolve(p, parent)
+		})
+		step.End()
 
 		// Step 3: compact-graph (two-level sort + group merge).
-		sw.begin()
-		mem.resetIteration()
-		st = compactAL(p, cutoff, st, labels, k, mem)
-		sw.end(&it.Steps.CompactGraph)
-
-		if opt.Stats {
-			stats.Iters = append(stats.Iters, it)
-			stats.Total.Add(it.Steps)
+		step = it.Child("compact-graph")
+		c.Labeled(name, "compact-graph", func() {
+			mem.resetIteration()
+			st = compactAL(p, cutoff, st, labels, k, mem)
+		})
+		step.End()
+		if obs.MetricsOn() {
+			retire(total - st.totalArcs(p))
+			contracted(st.n)
 		}
+
+		it.End()
 	}
-	return finish(g, ids, st.n), stats
+	root.End()
+	return finish(g, ids, st.n), statsView(c, root, name, p, opt.Stats)
 }
 
 // compactAL performs the Bor-AL compact-graph step: relabel arc targets,

@@ -3,6 +3,7 @@ package boruvka
 import (
 	"pmsf/internal/cc"
 	"pmsf/internal/graph"
+	"pmsf/internal/obs"
 	"pmsf/internal/par"
 	"pmsf/internal/sorts"
 )
@@ -30,72 +31,88 @@ func wedgeLess(a, b graph.WEdge) bool {
 // merge of self-loops and duplicate edges.
 func EL(g *graph.EdgeList, opt Options) (*graph.Forest, *Stats) {
 	p := opt.workers()
-	stats := &Stats{Algorithm: "Bor-EL", Workers: p}
-	sw := stopwatch{enabled: opt.Stats}
+	const name = "Bor-EL"
+	c, root := obsStart(opt, name, p)
 
 	edges := graph.DirectedWorkList(g)
 	n := g.N
 	// Initial compaction: sort and merge parallel edges, compute vertex
 	// segment starts. (Counted as setup, not as an iteration.)
-	edges, starts := CompactWorkListWith(opt.SortEngine, p, edges, n, opt.Seed)
+	var starts []int64
+	setup := root.Child("setup")
+	c.Labeled(name, "setup", func() {
+		before := int64(len(edges))
+		edges, starts = compactWorkListSpan(opt.SortEngine, p, edges, n, opt.Seed, setup)
+		retire(before - int64(len(edges)))
+	})
+	setup.End()
 
 	var ids []int32
 	iter := 0
 	for len(edges) > 0 {
-		var it IterStats
-		it.N = n
-		it.ListSize = int64(len(edges))
+		it := root.Child("iteration")
+		it.SetInt("n", int64(n))
+		it.SetInt("list_size", int64(len(edges)))
 
 		// Step 1: find-min. Segments are contiguous after the sort, so
 		// each vertex scans its own run of the edge list.
-		sw.begin()
+		step := it.Child("find-min")
 		parent := make([]int32, n)
 		sel := make([]int32, n)
-		par.ForDynamic(p, n, 1024, func(_, lo, hi int) {
-			for v := lo; v < hi; v++ {
-				segLo, segHi := starts[v], starts[v+1]
-				if segLo == segHi {
-					parent[v] = int32(v)
-					continue
-				}
-				best := segLo
-				for i := segLo + 1; i < segHi; i++ {
-					if edges[i].W < edges[best].W ||
-						(edges[i].W == edges[best].W && edges[i].ID < edges[best].ID) {
-						best = i
+		c.Labeled(name, "find-min", func() {
+			par.ForDynamic(p, n, 1024, func(_, lo, hi int) {
+				for v := lo; v < hi; v++ {
+					segLo, segHi := starts[v], starts[v+1]
+					if segLo == segHi {
+						parent[v] = int32(v)
+						continue
 					}
+					best := segLo
+					for i := segLo + 1; i < segHi; i++ {
+						if edges[i].W < edges[best].W ||
+							(edges[i].W == edges[best].W && edges[i].ID < edges[best].ID) {
+							best = i
+						}
+					}
+					parent[v] = edges[best].V
+					sel[v] = edges[best].ID
 				}
-				parent[v] = edges[best].V
-				sel[v] = edges[best].ID
-			}
+			})
+			ids = harvest(p, parent, sel, ids)
 		})
-		ids = harvest(p, parent, sel, ids)
-		sw.end(&it.Steps.FindMin)
+		step.End()
 
 		// Step 2: connect-components by pointer jumping.
-		sw.begin()
-		labels, k := cc.Resolve(p, parent)
-		sw.end(&it.Steps.ConnectComponents)
+		step = it.Child("connect-components")
+		var labels []int32
+		var k int
+		c.Labeled(name, "connect-components", func() {
+			labels, k = cc.Resolve(p, parent)
+		})
+		step.End()
 
 		// Step 3: compact-graph — relabel, global sample sort, merge.
-		sw.begin()
-		par.For(p, len(edges), func(_, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				edges[i].U = labels[edges[i].U]
-				edges[i].V = labels[edges[i].V]
-			}
+		step = it.Child("compact-graph")
+		c.Labeled(name, "compact-graph", func() {
+			par.For(p, len(edges), func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					edges[i].U = labels[edges[i].U]
+					edges[i].V = labels[edges[i].V]
+				}
+			})
+			n = k
+			before := int64(len(edges))
+			edges, starts = compactWorkListSpan(opt.SortEngine, p, edges, n, opt.Seed+uint64(iter)+1, step)
+			retire(before - int64(len(edges)))
 		})
-		n = k
-		edges, starts = CompactWorkListWith(opt.SortEngine, p, edges, n, opt.Seed+uint64(iter)+1)
-		sw.end(&it.Steps.CompactGraph)
+		step.End()
+		contracted(n)
 
-		if opt.Stats {
-			stats.Iters = append(stats.Iters, it)
-			stats.Total.Add(it.Steps)
-		}
+		it.End()
 		iter++
 	}
-	return finish(g, ids, n), stats
+	root.End()
+	return finish(g, ids, n), statsView(c, root, name, p, opt.Stats)
 }
 
 // CompactWorkList sorts the directed working edge list by (U, V, W, ID), drops
@@ -109,6 +126,18 @@ func CompactWorkList(p int, edges []graph.WEdge, n int, seed uint64) ([]graph.WE
 // CompactWorkListWith is CompactWorkList with a selectable parallel sort
 // engine.
 func CompactWorkListWith(engine SortEngine, p int, edges []graph.WEdge, n int, seed uint64) ([]graph.WEdge, []int64) {
+	return compactWorkListSpan(engine, p, edges, n, seed, obs.Span{})
+}
+
+// CompactWorkListSpan is CompactWorkListWith with the sort kernel
+// recorded as a child span of parent (inert parents record nothing).
+func CompactWorkListSpan(engine SortEngine, p int, edges []graph.WEdge, n int, seed uint64, parent obs.Span) ([]graph.WEdge, []int64) {
+	return compactWorkListSpan(engine, p, edges, n, seed, parent)
+}
+
+func compactWorkListSpan(engine SortEngine, p int, edges []graph.WEdge, n int, seed uint64, parent obs.Span) ([]graph.WEdge, []int64) {
+	sp := parent.Child("sort")
+	sp.SetInt("elements", int64(len(edges)))
 	switch engine {
 	case SortParallelMerge:
 		sorts.ParallelMergeSort(p, edges, wedgeLess)
@@ -117,6 +146,7 @@ func CompactWorkListWith(engine SortEngine, p int, edges []graph.WEdge, n int, s
 	default:
 		sorts.SampleSort(p, edges, wedgeLess, seed)
 	}
+	sp.End()
 
 	// Keep an edge iff it is not a self-loop and is the head of its
 	// (U, V) run: with the sort order above, the head is the minimum.

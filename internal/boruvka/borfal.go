@@ -17,21 +17,21 @@ import (
 // the paper's key observation for sparse random graphs.
 func FAL(g *graph.EdgeList, opt Options) (*graph.Forest, *Stats) {
 	p := opt.workers()
-	stats := &Stats{Algorithm: "Bor-FAL", Workers: p}
-	sw := stopwatch{enabled: opt.Stats}
+	const name = "Bor-FAL"
+	c, root := obsStart(opt, name, p)
 
 	base := graph.BuildAdj(g)
 	f := graph.NewFlexAdj(base)
 
 	var ids []int32
 	for {
-		var it IterStats
-		it.N = f.N
+		it := root.Child("iteration")
+		it.SetInt("n", int64(f.N))
 
 		// Step 1: find-min with on-the-fly filtering. Every arc in every
 		// chain is visited; arcs whose endpoints now share a supervertex
 		// are skipped via the lookup table.
-		sw.begin()
+		step := it.Child("find-min")
 		n := f.N
 		parent := make([]int32, n)
 		sel := make([]int32, n)
@@ -39,100 +39,107 @@ func FAL(g *graph.EdgeList, opt Options) (*graph.Forest, *Stats) {
 		// merge, so static vertex ranges would leave workers idle behind
 		// the owner of the giant chains.
 		chainArcs := make([]int64, par.Clamp(p, n))
-		par.ForDynamic(p, n, 256, func(w, lo, hi int) {
-			var visited int64
-			for s := lo; s < hi; s++ {
-				bestW := 0.0
-				bestID := int32(-1)
-				bestTo := int32(s)
-				f.Chain(int32(s), func(e graph.AdjEntry) {
-					visited++
-					t := f.Lookup[e.To]
-					if int(t) == s {
-						return // self-loop inside the supervertex
+		var selected int64
+		c.Labeled(name, "find-min", func() {
+			par.ForDynamic(p, n, 256, func(w, lo, hi int) {
+				var visited int64
+				for s := lo; s < hi; s++ {
+					bestW := 0.0
+					bestID := int32(-1)
+					bestTo := int32(s)
+					f.Chain(int32(s), func(e graph.AdjEntry) {
+						visited++
+						t := f.Lookup[e.To]
+						if int(t) == s {
+							return // self-loop inside the supervertex
+						}
+						if bestID < 0 || e.W < bestW || (e.W == bestW && e.EID < bestID) {
+							bestW, bestID, bestTo = e.W, e.EID, t
+						}
+					})
+					if bestID < 0 {
+						parent[s] = int32(s)
+					} else {
+						parent[s] = bestTo
+						sel[s] = bestID
 					}
-					if bestID < 0 || e.W < bestW || (e.W == bestW && e.EID < bestID) {
-						bestW, bestID, bestTo = e.W, e.EID, t
-					}
-				})
-				if bestID < 0 {
-					parent[s] = int32(s)
-				} else {
-					parent[s] = bestTo
-					sel[s] = bestID
 				}
+				chainArcs[w] += visited
+			})
+			selected = par.ReduceInt64(p, n, func(_, lo, hi int) int64 {
+				var c int64
+				for v := lo; v < hi; v++ {
+					if int(parent[v]) != v {
+						c++
+					}
+				}
+				return c
+			})
+			if selected > 0 {
+				ids = harvest(p, parent, sel, ids)
 			}
-			chainArcs[w] += visited
 		})
+		var listSize int64
 		for _, v := range chainArcs {
-			it.ListSize += v
+			listSize += v
 		}
-		selected := par.ReduceInt64(p, n, func(_, lo, hi int) int64 {
-			var c int64
-			for v := lo; v < hi; v++ {
-				if int(parent[v]) != v {
-					c++
-				}
-			}
-			return c
-		})
-		if selected > 0 {
-			ids = harvest(p, parent, sel, ids)
-		}
-		sw.end(&it.Steps.FindMin)
+		it.SetInt("list_size", listSize)
+		step.End()
 		if selected == 0 {
 			// All remaining arcs are intra-supervertex: the forest is done.
-			if opt.Stats {
-				stats.Iters = append(stats.Iters, it)
-				stats.Total.Add(it.Steps)
-			}
+			it.End()
 			break
 		}
 
 		// Step 2: connect-components.
-		sw.begin()
-		labels, k := cc.Resolve(p, parent)
-		sw.end(&it.Steps.ConnectComponents)
+		step = it.Child("connect-components")
+		var labels []int32
+		var k int
+		c.Labeled(name, "connect-components", func() {
+			labels, k = cc.Resolve(p, parent)
+		})
+		step.End()
 
 		// Step 3: compact-graph — group supervertices by new label (the
 		// "smaller parallel sort"), append member chains with pointer
 		// operations, and update the original-vertex lookup table.
-		sw.begin()
-		order, gstarts := sorts.CountingGroup(p, labels, k)
-		newHead := make([]int32, k)
-		newTail := make([]int32, k)
-		par.ForDynamic(p, k, 256, func(_, lo, hi int) {
-			for gidx := lo; gidx < hi; gidx++ {
-				members := order[gstarts[gidx]:gstarts[gidx+1]]
-				head, tail := int32(-1), int32(-1)
-				for _, s := range members {
-					if f.Head[s] < 0 {
-						continue
+		step = it.Child("compact-graph")
+		c.Labeled(name, "compact-graph", func() {
+			order, gstarts := sorts.CountingGroup(p, labels, k)
+			newHead := make([]int32, k)
+			newTail := make([]int32, k)
+			par.ForDynamic(p, k, 256, func(_, lo, hi int) {
+				for gidx := lo; gidx < hi; gidx++ {
+					members := order[gstarts[gidx]:gstarts[gidx+1]]
+					head, tail := int32(-1), int32(-1)
+					for _, s := range members {
+						if f.Head[s] < 0 {
+							continue
+						}
+						if head < 0 {
+							head, tail = f.Head[s], f.Tail[s]
+						} else {
+							f.Blocks[tail].Next = f.Head[s]
+							tail = f.Tail[s]
+						}
 					}
-					if head < 0 {
-						head, tail = f.Head[s], f.Tail[s]
-					} else {
-						f.Blocks[tail].Next = f.Head[s]
-						tail = f.Tail[s]
-					}
+					newHead[gidx] = head
+					newTail[gidx] = tail
 				}
-				newHead[gidx] = head
-				newTail[gidx] = tail
-			}
+			})
+			// O(n_original / p) lookup-table update.
+			par.For(p, len(f.Lookup), func(_, lo, hi int) {
+				for v := lo; v < hi; v++ {
+					f.Lookup[v] = labels[f.Lookup[v]]
+				}
+			})
+			f.Head, f.Tail, f.N = newHead, newTail, k
 		})
-		// O(n_original / p) lookup-table update.
-		par.For(p, len(f.Lookup), func(_, lo, hi int) {
-			for v := lo; v < hi; v++ {
-				f.Lookup[v] = labels[f.Lookup[v]]
-			}
-		})
-		f.Head, f.Tail, f.N = newHead, newTail, k
-		sw.end(&it.Steps.CompactGraph)
+		step.End()
+		contracted(f.N)
 
-		if opt.Stats {
-			stats.Iters = append(stats.Iters, it)
-			stats.Total.Add(it.Steps)
-		}
+		it.End()
 	}
-	return finish(g, ids, f.N), stats
+	root.End()
+	return finish(g, ids, f.N), statsView(c, root, name, p, opt.Stats)
 }

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"pmsf/internal/graph"
+	"pmsf/internal/obs"
 	"pmsf/internal/par"
 	"pmsf/internal/sorts"
 )
@@ -43,6 +44,14 @@ type Options struct {
 	// SortEngine selects the parallel sort behind Bor-EL's compact-graph
 	// step; the default is the paper's sample sort.
 	SortEngine SortEngine
+	// Trace, when non-nil, receives hierarchical spans for every
+	// iteration and step. The returned Stats derive from the same span
+	// tree, so both views of one run agree exactly.
+	Trace *obs.Collector
+	// Parent, when live, nests the run's spans under an enclosing span
+	// (e.g. the sampling filter's inner MSF phases); it implies the
+	// parent's collector and overrides Trace.
+	Parent obs.Span
 }
 
 // SortEngine names a parallel sorting algorithm for the Bor-EL edge
@@ -127,21 +136,74 @@ type Stats struct {
 	Total     StepTimes
 }
 
-// stopwatch measures a step when enabled.
-type stopwatch struct {
-	enabled bool
-	start   time.Time
+// obsStart resolves the span sink of a run: an explicit Parent span
+// wins, then opt.Trace; when neither is set but Stats were requested, a
+// private collector backs the Stats view. The returned root span carries
+// the algorithm name and worker count. Both returns are nil-safe no-ops
+// when observability is fully disabled.
+func obsStart(opt Options, name string, p int) (*obs.Collector, obs.Span) {
+	c := opt.Trace
+	if opt.Parent.Live() {
+		c = opt.Parent.Collector()
+	}
+	if c == nil && opt.Stats {
+		c = obs.NewCollector()
+	}
+	root := obs.StartUnder(c, opt.Parent, name, name)
+	root.SetInt("workers", int64(p))
+	return c, root
 }
 
-func (s *stopwatch) begin() {
-	if s.enabled {
-		s.start = time.Now()
+// statsView materializes the Stats of a run as a view over its span
+// tree: one IterStats per "iteration" child of root, sizes from the span
+// args, step times from the step child spans. When collect is false only
+// the identity fields are filled, matching the pre-span contract.
+func statsView(c *obs.Collector, root obs.Span, name string, p int, collect bool) *Stats {
+	stats := &Stats{Algorithm: name, Workers: p}
+	if !collect || c == nil {
+		return stats
+	}
+	spans := c.Spans()
+	for _, r := range spans {
+		if r.Parent != root.ID() || r.Name != "iteration" {
+			continue
+		}
+		var it IterStats
+		if v, ok := r.Arg("n"); ok {
+			it.N = int(v)
+		}
+		if v, ok := r.Arg("list_size"); ok {
+			it.ListSize = v
+		}
+		for _, step := range obs.ChildrenOf(spans, r.ID) {
+			switch step.Name {
+			case "find-min":
+				it.Steps.FindMin = step.Dur
+			case "connect-components":
+				it.Steps.ConnectComponents = step.Dur
+			case "compact-graph":
+				it.Steps.CompactGraph = step.Dur
+			}
+		}
+		stats.Iters = append(stats.Iters, it)
+		stats.Total.Add(it.Steps)
+	}
+	return stats
+}
+
+// retire reports working-list entries eliminated by a compaction to the
+// process-wide metrics.
+func retire(n int64) {
+	if n > 0 && obs.MetricsOn() {
+		obs.EdgesRetired.Add(n)
 	}
 }
 
-func (s *stopwatch) end(d *time.Duration) {
-	if s.enabled {
-		*d += time.Since(s.start)
+// contracted reports the post-contraction supervertex count to the
+// process-wide metrics.
+func contracted(k int) {
+	if obs.MetricsOn() {
+		obs.Supervertices.Set(int64(k))
 	}
 }
 

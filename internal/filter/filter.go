@@ -26,6 +26,7 @@ package filter
 import (
 	"pmsf/internal/boruvka"
 	"pmsf/internal/graph"
+	"pmsf/internal/obs"
 	"pmsf/internal/par"
 	"pmsf/internal/pathmax"
 	"pmsf/internal/rng"
@@ -50,6 +51,12 @@ type Options struct {
 	// RecurseBelow is the sample size under which recursion stops and
 	// Bor-FAL solves directly; 0 means 1<<16.
 	RecurseBelow int
+	// Trace, when non-nil, receives hierarchical spans for every filter
+	// stage and the inner Bor-FAL runs.
+	Trace *obs.Collector
+	// Parent, when live, nests the run's spans under an enclosing span;
+	// it implies the parent's collector and overrides Trace.
+	Parent obs.Span
 }
 
 // Stats instruments a filtered run.
@@ -77,36 +84,53 @@ func Run(g *graph.EdgeList, opt Options) (*graph.Forest, *Stats) {
 	}
 	stats := &Stats{M: len(g.Edges), SampleProb: prob}
 
+	c := opt.Trace
+	if opt.Parent.Live() {
+		c = opt.Parent.Collector()
+	}
+	const name = "Filter"
+	root := obs.StartUnder(c, opt.Parent, name, name)
+	root.SetInt("workers", int64(p))
+	root.SetInt("m", int64(len(g.Edges)))
+	defer root.End()
+
 	m := len(g.Edges)
 	if m == 0 {
-		f, _ := boruvka.FAL(g, boruvka.Options{Workers: p, Seed: opt.Seed})
+		f, _ := boruvka.FAL(g, boruvka.Options{Workers: p, Seed: opt.Seed, Parent: root})
 		return f, stats
 	}
 
 	// Step 1: sample. Per-worker split RNG streams keep this
 	// deterministic for a fixed worker count; the RESULT (the MSF) is
 	// correct for any sample, so p only influences which sample is used.
+	sampleSpan := root.Child("sample")
 	inSample := make([]bool, m)
-	base := rng.New(opt.Seed)
-	streams := make([]*rng.Xoshiro256, par.Clamp(p, m))
-	for i := range streams {
-		streams[i] = base.Split()
-	}
-	par.For(len(streams), m, func(w, lo, hi int) {
-		r := streams[w]
-		for i := lo; i < hi; i++ {
-			inSample[i] = r.Float64() < prob
+	var sampleIDs []int32
+	var sample *graph.EdgeList
+	c.Labeled(name, "sample", func() {
+		base := rng.New(opt.Seed)
+		streams := make([]*rng.Xoshiro256, par.Clamp(p, m))
+		for i := range streams {
+			streams[i] = base.Split()
 		}
-	})
+		par.For(len(streams), m, func(w, lo, hi int) {
+			r := streams[w]
+			for i := lo; i < hi; i++ {
+				inSample[i] = r.Float64() < prob
+			}
+		})
 
-	sampleIDs := par.PackIndices(p, m, func(i int) bool { return inSample[i] })
-	stats.Sampled = len(sampleIDs)
-	sample := &graph.EdgeList{N: g.N, Edges: make([]graph.Edge, len(sampleIDs))}
-	par.For(p, len(sampleIDs), func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			sample.Edges[i] = g.Edges[sampleIDs[i]]
-		}
+		sampleIDs = par.PackIndices(p, m, func(i int) bool { return inSample[i] })
+		stats.Sampled = len(sampleIDs)
+		sample = &graph.EdgeList{N: g.N, Edges: make([]graph.Edge, len(sampleIDs))}
+		par.For(p, len(sampleIDs), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sample.Edges[i] = g.Edges[sampleIDs[i]]
+			}
+		})
 	})
+	sampleSpan.SetInt("sampled", int64(len(sampleIDs)))
+	sampleSpan.End()
 
 	// Step 2: MSF of the sample — recursively through the filter while
 	// the sample is large and the depth budget lasts (full KKT), else
@@ -117,10 +141,12 @@ func Run(g *graph.EdgeList, opt Options) (*graph.Forest, *Stats) {
 	}
 	stats.Levels = 1
 	var sf *graph.Forest
+	sampleMSF := root.Child("sample-msf")
 	if opt.MaxLevels > 1 && len(sample.Edges) > recurseBelow {
 		childOpt := opt
 		childOpt.MaxLevels = opt.MaxLevels - 1
 		childOpt.Seed = opt.Seed + 0x9e37
+		childOpt.Parent = sampleMSF
 		var childStats *Stats
 		sf, childStats = Run(sample, childOpt)
 		stats.Levels = childStats.Levels + 1
@@ -129,11 +155,12 @@ func Run(g *graph.EdgeList, opt Options) (*graph.Forest, *Stats) {
 		}
 	} else {
 		var sfStats *boruvka.Stats
-		sf, sfStats = boruvka.FAL(sample, boruvka.Options{Workers: p, Seed: opt.Seed, Stats: opt.Stats})
+		sf, sfStats = boruvka.FAL(sample, boruvka.Options{Workers: p, Seed: opt.Seed, Stats: opt.Stats, Parent: sampleMSF})
 		if opt.Stats {
 			stats.SampleMSF = sfStats
 		}
 	}
+	sampleMSF.End()
 	// Map the sample forest's local ids back to input ids.
 	forestIDs := make([]int32, len(sf.EdgeIDs))
 	for i, local := range sf.EdgeIDs {
@@ -142,29 +169,32 @@ func Run(g *graph.EdgeList, opt Options) (*graph.Forest, *Stats) {
 
 	// Step 3: eliminate F'-heavy non-sample edges with parallel path-max
 	// queries. Edges joining different F' trees are always kept.
-	idx := pathmax.Build(g, forestIDs)
+	filterSpan := root.Child("filter")
 	keep := make([]bool, m)
-	for _, id := range forestIDs {
-		keep[id] = true
-	}
-	par.For(p, m, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if inSample[i] || keep[i] {
-				continue // sampled non-forest edges are F'-heavy by definition of F'... see note below
-			}
-			e := g.Edges[i]
-			if e.U == e.V {
-				continue
-			}
-			hm := idx.Query(e.U, e.V)
-			// Keep the edge unless it is F'-heavy under the perturbed
-			// total order (W, id) — the same order every tie-break in the
-			// library uses, which keeps duplicate weights safe.
-			if hm < 0 || e.W < g.Edges[hm].W ||
-				(e.W == g.Edges[hm].W && int32(i) < hm) {
-				keep[i] = true
-			}
+	c.Labeled(name, "filter", func() {
+		idx := pathmax.Build(g, forestIDs)
+		for _, id := range forestIDs {
+			keep[id] = true
 		}
+		par.For(p, m, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if inSample[i] || keep[i] {
+					continue // sampled non-forest edges are F'-heavy by definition of F'... see note below
+				}
+				e := g.Edges[i]
+				if e.U == e.V {
+					continue
+				}
+				hm := idx.Query(e.U, e.V)
+				// Keep the edge unless it is F'-heavy under the perturbed
+				// total order (W, id) — the same order every tie-break in the
+				// library uses, which keeps duplicate weights safe.
+				if hm < 0 || e.W < g.Edges[hm].W ||
+					(e.W == g.Edges[hm].W && int32(i) < hm) {
+					keep[i] = true
+				}
+			}
+		})
 	})
 	// Note: sampled edges NOT in F' are F'-heavy by the correctness of
 	// the sample MSF (they close a cycle within the sample in which they
@@ -174,15 +204,22 @@ func Run(g *graph.EdgeList, opt Options) (*graph.Forest, *Stats) {
 	keptIDs := par.PackIndices(p, m, func(i int) bool { return keep[i] })
 	stats.Discarded = m - len(keptIDs)
 	stats.FinalM = len(keptIDs)
+	filterSpan.SetInt("discarded", int64(stats.Discarded))
+	filterSpan.End()
+	if stats.Discarded > 0 && obs.MetricsOn() {
+		obs.EdgesRetired.Add(int64(stats.Discarded))
+	}
 
 	// Step 4: final MSF over the survivors.
+	finalMSF := root.Child("final-msf")
 	final := &graph.EdgeList{N: g.N, Edges: make([]graph.Edge, len(keptIDs))}
 	par.For(p, len(keptIDs), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			final.Edges[i] = g.Edges[keptIDs[i]]
 		}
 	})
-	ff, ffStats := boruvka.FAL(final, boruvka.Options{Workers: p, Seed: opt.Seed + 1, Stats: opt.Stats})
+	ff, ffStats := boruvka.FAL(final, boruvka.Options{Workers: p, Seed: opt.Seed + 1, Stats: opt.Stats, Parent: finalMSF})
+	finalMSF.End()
 	if opt.Stats {
 		stats.FinalMSF = ffStats
 	}

@@ -45,7 +45,10 @@ func ReadDIMACS(r io.Reader) (*EdgeList, error) {
 			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 			}
-			g = &EdgeList{N: n, Edges: make([]Edge, 0, m)}
+			if n < 0 || m < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative count in problem line", lineNo)
+			}
+			g = &EdgeList{N: n, Edges: make([]Edge, 0, preallocEdges(m))}
 		case "e", "a":
 			if g == nil {
 				return nil, fmt.Errorf("graph: line %d: edge before problem line", lineNo)
@@ -78,6 +81,9 @@ func ReadDIMACS(r io.Reader) (*EdgeList, error) {
 	}
 	if g == nil {
 		return nil, fmt.Errorf("graph: no problem line")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
 	}
 	return g, nil
 }

@@ -1,0 +1,249 @@
+package graph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Full parser fuzzing: whatever a reader accepts must validate, survive a
+// Write→Read round trip, and come back as the same graph. Malformed
+// inputs must produce errors, never panics. Seed corpora come from
+// testdata plus inline adversarial cases (negative header counts, NaN
+// weights, truncated lines).
+
+// addSeeds feeds every testdata file with the extension into the corpus.
+func addSeeds(f *testing.F, ext string) {
+	f.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "*"+ext))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+}
+
+// canonical returns the edge multiset with endpoints normalized to
+// (min, max), sorted — the equality notion for formats that reorder
+// edges.
+func canonical(g *EdgeList) []Edge {
+	out := make([]Edge, len(g.Edges))
+	for i, e := range g.Edges {
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		out[i] = e
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		if a.V != b.V {
+			return a.V < b.V
+		}
+		return a.W < b.W
+	})
+	return out
+}
+
+func sameGraph(t *testing.T, want, got *EdgeList, ordered bool) {
+	t.Helper()
+	if got.N != want.N {
+		t.Fatalf("round trip changed N: %d -> %d", want.N, got.N)
+	}
+	if len(got.Edges) != len(want.Edges) {
+		t.Fatalf("round trip changed edge count: %d -> %d", len(want.Edges), len(got.Edges))
+	}
+	a, b := want.Edges, got.Edges
+	if !ordered {
+		a, b = canonical(want), canonical(got)
+	}
+	for i := range a {
+		if a[i].U != b[i].U || a[i].V != b[i].V || a[i].W != b[i].W {
+			t.Fatalf("round trip changed edge %d: %+v -> %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func FuzzParseGraphText(f *testing.F) {
+	addSeeds(f, ".txt")
+	f.Add("3 2\n0 1 0.5\n1 2 1.5\n")
+	f.Add("0 0\n")
+	f.Add("-1 0\n")
+	f.Add("3 -7\n")
+	f.Add("2 1\n0 1 nan\n")
+	f.Add("2 1\n0 1 inf\n")
+	f.Add("2 1\n0 9 1\n")
+	f.Add("3 2\n0 1\n")
+	f.Add("1 999999999999999\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadText(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		sameGraph(t, g, g2, true)
+	})
+}
+
+func FuzzParseGraphDIMACS(f *testing.F) {
+	addSeeds(f, ".dimacs")
+	f.Add("p edge 3 2\ne 1 2 0.5\ne 2 3 1\n")
+	f.Add("p edge -1 -1\n")
+	f.Add("p edge 2 1\ne 1 2 nan\n")
+	f.Add("p edge 2 1\ne 0 2 1\n")
+	f.Add("p edge 1 99999999999999\n")
+	f.Add("e 1 2 3\n")
+	f.Add("p edge 2 1\np edge 2 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadDIMACS(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadDIMACS(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		sameGraph(t, g, g2, true)
+	})
+}
+
+func FuzzParseGraphMETIS(f *testing.F) {
+	addSeeds(f, ".metis")
+	f.Add("2 1\n2\n1\n")
+	f.Add("3 2 001\n2 0.5\n1 0.5 3 1\n2 1\n")
+	f.Add("-2 -1\n")
+	f.Add("2 1 001\n2 nan\n1 nan\n")
+	f.Add("2 1\n2\n")
+	f.Add("1 99999999999999\n\n")
+	f.Add("2 1 011\n9 2\n4 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadMETIS(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteMETIS(&buf, g); err != nil {
+			// Self-loops are not representable in METIS; nothing else may
+			// fail on an accepted graph.
+			if strings.Contains(err.Error(), "self-loop") {
+				return
+			}
+			t.Fatalf("write rejected accepted graph: %v", err)
+		}
+		g2, err := ReadMETIS(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		sameGraph(t, g, g2, false)
+	})
+}
+
+// TestParsersRejectNaN pins the boundary Validate calls: NaN weights
+// must be rejected by every text-based reader, not passed through to
+// the comparison-based algorithms.
+func TestParsersRejectNaN(t *testing.T) {
+	cases := map[string]func() (*EdgeList, error){
+		"text": func() (*EdgeList, error) {
+			return ReadText(strings.NewReader("2 1\n0 1 nan\n"))
+		},
+		"dimacs": func() (*EdgeList, error) {
+			return ReadDIMACS(strings.NewReader("p edge 2 1\ne 1 2 nan\n"))
+		},
+		"metis": func() (*EdgeList, error) {
+			return ReadMETIS(strings.NewReader("2 1 001\n2 nan\n1 nan\n"))
+		},
+	}
+	for name, read := range cases {
+		if _, err := read(); err == nil {
+			t.Errorf("%s reader accepted a NaN weight", name)
+		}
+	}
+}
+
+// TestParsersRejectNegativeHeader pins the negative-count guards: a
+// hostile header must error, not panic in make().
+func TestParsersRejectNegativeHeader(t *testing.T) {
+	cases := map[string]func() (*EdgeList, error){
+		"text": func() (*EdgeList, error) {
+			return ReadText(strings.NewReader("3 -7\n"))
+		},
+		"dimacs": func() (*EdgeList, error) {
+			return ReadDIMACS(strings.NewReader("p edge 3 -7\n"))
+		},
+		"metis": func() (*EdgeList, error) {
+			return ReadMETIS(strings.NewReader("3 -7\n\n\n\n"))
+		},
+	}
+	for name, read := range cases {
+		if _, err := read(); err == nil {
+			t.Errorf("%s reader accepted a negative edge count", name)
+		}
+	}
+}
+
+// TestTestdataSeedsParse keeps the seed corpus valid: every testdata
+// file must parse with its format's reader.
+func TestTestdataSeedsParse(t *testing.T) {
+	readers := map[string]func(data []byte) error{
+		".txt": func(data []byte) error {
+			_, err := ReadText(bytes.NewReader(data))
+			return err
+		},
+		".dimacs": func(data []byte) error {
+			_, err := ReadDIMACS(bytes.NewReader(data))
+			return err
+		},
+		".metis": func(data []byte) error {
+			_, err := ReadMETIS(bytes.NewReader(data))
+			return err
+		},
+	}
+	for ext, read := range readers {
+		paths, err := filepath.Glob(filepath.Join("testdata", "*"+ext))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(paths) == 0 {
+			t.Fatalf("no %s seeds in testdata", ext)
+		}
+		for _, path := range paths {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := read(data); err != nil {
+				t.Errorf("%s: %v", path, err)
+			}
+		}
+	}
+}

@@ -20,6 +20,17 @@ import (
 
 const binaryMagic = "PMSF1\n"
 
+// preallocEdges caps an edge-count preallocation taken from an untrusted
+// header: a corrupt or hostile count must not demand an arbitrarily
+// large up-front allocation. Slices grow naturally past the cap.
+func preallocEdges(m int) int {
+	const cap = 1 << 22
+	if m > cap {
+		return cap
+	}
+	return m
+}
+
 // WriteBinary writes g in the native binary format.
 func WriteBinary(w io.Writer, g *EdgeList) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
@@ -63,15 +74,10 @@ func ReadBinary(r io.Reader) (*EdgeList, error) {
 	if n > math.MaxInt32 {
 		return nil, fmt.Errorf("graph: vertex count %d exceeds int32", n)
 	}
-	// Cap the preallocation: a corrupt header must not be able to demand
-	// an arbitrarily large up-front allocation. The slice grows naturally
-	// for genuinely large files.
-	const preallocCap = 1 << 22
-	prealloc := m
-	if prealloc > preallocCap {
-		prealloc = preallocCap
+	if m > math.MaxInt {
+		return nil, fmt.Errorf("graph: edge count %d exceeds int", m)
 	}
-	g := &EdgeList{N: int(n), Edges: make([]Edge, 0, prealloc)}
+	g := &EdgeList{N: int(n), Edges: make([]Edge, 0, preallocEdges(int(m)))}
 	var rec [16]byte
 	for i := uint64(0); i < m; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
@@ -129,8 +135,11 @@ func ReadText(r io.Reader) (*EdgeList, error) {
 			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 			}
+			if n < 0 || m < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative count in header", lineNo)
+			}
 			g.N = n
-			g.Edges = make([]Edge, 0, m)
+			g.Edges = make([]Edge, 0, preallocEdges(m))
 			continue
 		}
 		if len(fields) != 3 {

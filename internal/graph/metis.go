@@ -45,12 +45,15 @@ func ReadMETIS(r io.Reader) (*EdgeList, error) {
 			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 			}
+			if n < 0 || m < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative count in header", lineNo)
+			}
 			if len(fields) >= 3 {
 				f := fields[2]
 				hasEdgeWeights = strings.HasSuffix(f, "1")
 				hasVertexWeights = len(f) >= 2 && f[len(f)-2] == '1'
 			}
-			g = &EdgeList{N: n, Edges: make([]Edge, 0, m)}
+			g = &EdgeList{N: n, Edges: make([]Edge, 0, preallocEdges(m))}
 			expectM = m
 			continue
 		}
@@ -104,6 +107,9 @@ func ReadMETIS(r io.Reader) (*EdgeList, error) {
 	}
 	if len(g.Edges) != expectM {
 		return nil, fmt.Errorf("graph: parsed %d edges, header says %d", len(g.Edges), expectM)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
 	}
 	return g, nil
 }

@@ -21,6 +21,7 @@ import (
 	"pmsf/internal/boruvka"
 	"pmsf/internal/graph"
 	"pmsf/internal/heap"
+	"pmsf/internal/obs"
 	"pmsf/internal/par"
 	"pmsf/internal/rng"
 	"pmsf/internal/seq"
@@ -44,6 +45,12 @@ type Options struct {
 	Seed uint64
 	// Stats enables per-level instrumentation.
 	Stats bool
+	// Trace, when non-nil, receives hierarchical spans for every level
+	// and phase. The returned Stats derive from the same span tree.
+	Trace *obs.Collector
+	// Parent, when live, nests the run's spans under an enclosing span;
+	// it implies the parent's collector and overrides Trace.
+	Parent obs.Span
 }
 
 // DefaultBaseSize is the default sequential cutoff n_b.
@@ -118,14 +125,27 @@ func Run(g *graph.EdgeList, opt Options) (*graph.Forest, *Stats) {
 	if nb <= 0 {
 		nb = DefaultBaseSize
 	}
-	stats := &Stats{Workers: p}
 	start := time.Now()
+	c := opt.Trace
+	if opt.Parent.Live() {
+		c = opt.Parent.Collector()
+	}
+	if c == nil && opt.Stats {
+		c = obs.NewCollector()
+	}
+	root := obs.StartUnder(c, opt.Parent, algoName, algoName)
+	root.SetInt("workers", int64(p))
 
 	// Working graph: the Bor-EL state (directed edges sorted by U with
 	// per-vertex segment starts doubles as a CSR for the Prim growth).
 	edges := graph.DirectedWorkList(g)
 	n := g.N
-	edges, starts := boruvka.CompactWorkList(p, edges, n, opt.Seed)
+	var starts []int64
+	setup := root.Child("setup")
+	c.Labeled(algoName, "setup", func() {
+		edges, starts = boruvka.CompactWorkListSpan(boruvka.SortSampleSort, p, edges, n, opt.Seed, setup)
+	})
+	setup.End()
 
 	var ids []int32
 	r := rng.New(opt.Seed + 0x5eed)
@@ -139,7 +159,7 @@ func Run(g *graph.EdgeList, opt Options) (*graph.Forest, *Stats) {
 	}
 	level := 0
 	for len(edges) > 0 && n > nb {
-		ids, edges, starts, n = runLevel(p, n, edges, starts, opt, r, ids, stats, heaps)
+		ids, edges, starts, n = runLevel(p, n, edges, starts, opt, r, ids, c, root, heaps)
 		level++
 		if level > 64 {
 			// Progress is guaranteed (see the zero-selection fallback in
@@ -150,17 +170,71 @@ func Run(g *graph.EdgeList, opt Options) (*graph.Forest, *Stats) {
 
 	// Sequential base case: finish with Kruskal on the contracted graph.
 	if len(edges) > 0 {
-		if opt.Stats {
-			stats.SeqBaseN = n
-			stats.SeqBaseM = len(edges) / 2
-		}
-		ids = append(ids, sequentialFinish(n, edges)...)
-		// All inter-supervertex edges are resolved now; components of the
-		// base graph determine the remaining supervertex count.
-		n = baseComponents(n, edges)
+		sb := root.Child("seq-base")
+		sb.SetInt("n", int64(n))
+		sb.SetInt("m", int64(len(edges)/2))
+		c.Labeled(algoName, "seq-base", func() {
+			ids = append(ids, sequentialFinish(n, edges)...)
+			// All inter-supervertex edges are resolved now; components of
+			// the base graph determine the remaining supervertex count.
+			n = baseComponents(n, edges)
+		})
+		sb.End()
 	}
+	root.End()
+	stats := statsView(c, root, p, opt.Stats)
 	stats.TotalTime = time.Since(start)
 	return finishForest(g, ids, n), stats
+}
+
+// algoName is the span/category/pprof-label name of the algorithm.
+const algoName = "MST-BC"
+
+// statsView materializes the Stats of a run as a view over its span
+// tree: one LevelStats per "level" child of root, counters from span
+// args, phase times from the phase child spans. When collect is false
+// only the identity fields are filled.
+func statsView(c *obs.Collector, root obs.Span, p int, collect bool) *Stats {
+	stats := &Stats{Workers: p}
+	if !collect || c == nil {
+		return stats
+	}
+	spans := c.Spans()
+	for _, r := range spans {
+		if r.Parent != root.ID() {
+			continue
+		}
+		switch r.Name {
+		case "level":
+			var lv LevelStats
+			arg := func(key string) int64 { v, _ := r.Arg(key); return v }
+			lv.N = int(arg("n"))
+			lv.M = int(arg("m"))
+			lv.Trees = arg("trees")
+			lv.Collisions = arg("collisions")
+			lv.Steals = arg("steals")
+			lv.Visited = arg("visited")
+			for _, ph := range obs.ChildrenOf(spans, r.ID) {
+				switch ph.Name {
+				case "grow":
+					lv.GrowTime = ph.Dur
+				case "fixup":
+					lv.FixupTime = ph.Dur
+				case "contract":
+					lv.Contract = ph.Dur
+				}
+			}
+			stats.Levels = append(stats.Levels, lv)
+		case "seq-base":
+			if v, ok := r.Arg("n"); ok {
+				stats.SeqBaseN = int(v)
+			}
+			if v, ok := r.Arg("m"); ok {
+				stats.SeqBaseM = int(v)
+			}
+		}
+	}
+	return stats
 }
 
 // runLevel executes one round of Alg. 1 (steps 1-5): the concurrent Prim
@@ -169,177 +243,196 @@ func runLevel(
 	p, n int,
 	edges []graph.WEdge, starts []int64,
 	opt Options, r *rng.Xoshiro256,
-	ids []int32, stats *Stats,
+	ids []int32, c *obs.Collector, root obs.Span,
 	heaps []*heap.IndexedHeap,
 ) ([]int32, []graph.WEdge, []int64, int) {
-	var lv LevelStats
-	lv.N = n
-	lv.M = len(edges) / 2
-	sw := time.Now()
-
-	// Claim order: random permutation unless disabled.
-	var order []int32
-	if opt.NoPermute {
-		order = make([]int32, n)
-		for i := range order {
-			order[i] = int32(i)
-		}
-	} else {
-		order = r.Perm(n)
-	}
-
-	color := make([]int64, n)   // accessed atomically; 0 = uncolored
-	visited := make([]int32, n) // accessed atomically; 1 = in a mature tree
-
-	parts := make([]partition, p)
-	ranges := par.Split(n, p)
-	for w := range parts {
-		parts[w].init(ranges[w].Lo, ranges[w].Hi)
-	}
+	lv := root.Child("level")
+	lv.SetInt("n", int64(n))
+	lv.SetInt("m", int64(len(edges)/2))
 
 	treeArcs := make([][]int32, p) // arc indices selected by each worker
-	var trees, collisions, steals, visitedCount atomic.Int64
+	var trees, collisions, steals, stealAttempts, visitedCount atomic.Int64
+	visited := make([]int32, n) // accessed atomically; 1 = in a mature tree
 
-	par.Do(p, func(w int) {
-		h := heaps[w]
-		var myTrees, myColl, mySteals, myVisited int64
-		claim := func(pi int) {
-			for {
-				var idx int
-				var ok bool
-				if pi == w {
-					idx, ok = parts[pi].takeFront()
-				} else {
-					idx, ok = parts[pi].takeBack()
-				}
-				if !ok {
-					return
-				}
-				v := order[idx]
-				if !atomic.CompareAndSwapInt64(&color[v], 0, myColors(w, p, myTrees)) {
-					continue // already claimed by someone (possibly us)
-				}
-				myTrees++
-				grown, coll := growTree(v, myColors(w, p, myTrees-1), h, color, visited, edges, starts, &treeArcs[w])
-				myVisited += grown
-				if coll {
-					myColl++
+	grow := lv.Child("grow")
+	c.Labeled(algoName, "grow", func() {
+		// Claim order: random permutation unless disabled.
+		var order []int32
+		if opt.NoPermute {
+			order = make([]int32, n)
+			for i := range order {
+				order[i] = int32(i)
+			}
+		} else {
+			order = r.Perm(n)
+		}
+
+		color := make([]int64, n) // accessed atomically; 0 = uncolored
+
+		parts := make([]partition, p)
+		ranges := par.Split(n, p)
+		for w := range parts {
+			parts[w].init(ranges[w].Lo, ranges[w].Hi)
+		}
+
+		par.Do(p, func(w int) {
+			h := heaps[w]
+			var myTrees, myColl, mySteals, myAttempts, myVisited int64
+			claim := func(pi int) {
+				for {
+					var idx int
+					var ok bool
+					if pi == w {
+						idx, ok = parts[pi].takeFront()
+					} else {
+						myAttempts++
+						idx, ok = parts[pi].takeBack()
+					}
+					if !ok {
+						return
+					}
+					v := order[idx]
+					if !atomic.CompareAndSwapInt64(&color[v], 0, myColors(w, p, myTrees)) {
+						continue // already claimed by someone (possibly us)
+					}
+					myTrees++
+					grown, coll := growTree(v, myColors(w, p, myTrees-1), h, color, visited, edges, starts, &treeArcs[w])
+					myVisited += grown
+					if coll {
+						myColl++
+					}
 				}
 			}
-		}
-		claim(w)
-		// Work stealing: help unfinished partitions from the back, with
-		// the victim order randomized per worker (the paper: "an
-		// unfinished partition is randomly selected").
-		victims := make([]int, 0, p-1)
-		for v := 0; v < p; v++ {
-			if v != w {
-				victims = append(victims, v)
+			claim(w)
+			// Work stealing: help unfinished partitions from the back, with
+			// the victim order randomized per worker (the paper: "an
+			// unfinished partition is randomly selected").
+			victims := make([]int, 0, p-1)
+			for v := 0; v < p; v++ {
+				if v != w {
+					victims = append(victims, v)
+				}
 			}
-		}
-		vr := rng.New(opt.Seed ^ (uint64(w)+1)*0x9e3779b97f4a7c15 ^ uint64(n))
-		for i := len(victims) - 1; i > 0; i-- {
-			j := vr.Intn(i + 1)
-			victims[i], victims[j] = victims[j], victims[i]
-		}
-		for _, victim := range victims {
-			before := myTrees
-			claim(victim)
-			mySteals += myTrees - before
-		}
-		trees.Add(myTrees)
-		collisions.Add(myColl)
-		steals.Add(mySteals)
-		visitedCount.Add(myVisited)
+			vr := rng.New(opt.Seed ^ (uint64(w)+1)*0x9e3779b97f4a7c15 ^ uint64(n))
+			for i := len(victims) - 1; i > 0; i-- {
+				j := vr.Intn(i + 1)
+				victims[i], victims[j] = victims[j], victims[i]
+			}
+			for _, victim := range victims {
+				before := myTrees
+				claim(victim)
+				mySteals += myTrees - before
+			}
+			trees.Add(myTrees)
+			collisions.Add(myColl)
+			steals.Add(mySteals)
+			stealAttempts.Add(myAttempts)
+			visitedCount.Add(myVisited)
+		})
 	})
-	lv.Trees = trees.Load()
-	lv.Collisions = collisions.Load()
-	lv.Steals = steals.Load()
-	lv.Visited = visitedCount.Load()
-	lv.GrowTime = time.Since(sw)
-	sw = time.Now()
+	grow.End()
+	lv.SetInt("trees", trees.Load())
+	lv.SetInt("collisions", collisions.Load())
+	lv.SetInt("steals", steals.Load())
+	lv.SetInt("visited", visitedCount.Load())
+	if obs.MetricsOn() {
+		obs.StealAttempts.Add(stealAttempts.Load())
+		obs.StealSuccesses.Add(steals.Load())
+	}
 
 	// Step 3 (Alg. 1): every vertex not incorporated into a mature tree
 	// labels its lightest incident edge — a Borůvka step.
+	fixup := lv.Child("fixup")
 	parent := make([]int32, n)
 	selArc := make([]int32, n)
-	par.ForDynamic(p, n, 1024, func(_, lo, hi int) {
-		for v := lo; v < hi; v++ {
-			if atomic.LoadInt32(&visited[v]) != 0 {
-				parent[v] = int32(v)
-				continue
-			}
-			parent[v], selArc[v] = lightest(int32(v), edges, starts)
-		}
-	})
-	selected := countSelections(p, parent)
-	treeEdgeCount := int64(0)
-	for w := 0; w < p; w++ {
-		treeEdgeCount += int64(len(treeArcs[w]))
-	}
-	if selected == 0 && treeEdgeCount == 0 {
-		// Pathological synchronization (the paper's n/p-cycle example):
-		// no progress was made. Fall back to a full Borůvka find-min over
-		// every vertex, which always selects at least one edge when edges
-		// remain.
+	var picked []int32
+	c.Labeled(algoName, "fixup", func() {
 		par.ForDynamic(p, n, 1024, func(_, lo, hi int) {
 			for v := lo; v < hi; v++ {
+				if atomic.LoadInt32(&visited[v]) != 0 {
+					parent[v] = int32(v)
+					continue
+				}
 				parent[v], selArc[v] = lightest(int32(v), edges, starts)
 			}
 		})
-		selected = countSelections(p, parent)
-	}
-	// Harvest the Borůvka selections, deduplicating mutual pairs.
-	picked := par.PackIndices(p, n, func(v int) bool {
-		pv := parent[v]
-		if int(pv) == v {
-			return false
+		selected := countSelections(p, parent)
+		treeEdgeCount := int64(0)
+		for w := 0; w < p; w++ {
+			treeEdgeCount += int64(len(treeArcs[w]))
 		}
-		if int(parent[pv]) == v && int(pv) < v {
-			return false
+		if selected == 0 && treeEdgeCount == 0 {
+			// Pathological synchronization (the paper's n/p-cycle example):
+			// no progress was made. Fall back to a full Borůvka find-min over
+			// every vertex, which always selects at least one edge when edges
+			// remain.
+			par.ForDynamic(p, n, 1024, func(_, lo, hi int) {
+				for v := lo; v < hi; v++ {
+					parent[v], selArc[v] = lightest(int32(v), edges, starts)
+				}
+			})
+			selected = countSelections(p, parent)
 		}
-		return true
+		// Harvest the Borůvka selections, deduplicating mutual pairs.
+		picked = par.PackIndices(p, n, func(v int) bool {
+			pv := parent[v]
+			if int(pv) == v {
+				return false
+			}
+			if int(parent[pv]) == v && int(pv) < v {
+				return false
+			}
+			return true
+		})
+		for _, v := range picked {
+			ids = append(ids, edges[selArc[v]].ID)
+		}
+		// Harvest the tree edges.
+		for w := 0; w < p; w++ {
+			for _, arc := range treeArcs[w] {
+				ids = append(ids, edges[arc].ID)
+			}
+		}
 	})
-	for _, v := range picked {
-		ids = append(ids, edges[selArc[v]].ID)
-	}
-	// Harvest the tree edges.
-	for w := 0; w < p; w++ {
-		for _, arc := range treeArcs[w] {
-			ids = append(ids, edges[arc].ID)
-		}
-	}
-	lv.FixupTime = time.Since(sw)
-	sw = time.Now()
+	fixup.End()
 
 	// Steps 4-5: contract with a lock-free union-find over all selected
 	// edges, relabel densely, rebuild the working graph.
-	u := uf.NewConcurrent(n)
-	par.Do(p, func(w int) {
-		for _, arc := range treeArcs[w] {
-			u.Union(edges[arc].U, edges[arc].V)
+	contract := lv.Child("contract")
+	var k int
+	c.Labeled(algoName, "contract", func() {
+		u := uf.NewConcurrent(n)
+		par.Do(p, func(w int) {
+			for _, arc := range treeArcs[w] {
+				u.Union(edges[arc].U, edges[arc].V)
+			}
+		})
+		par.For(p, len(picked), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := picked[i]
+				e := edges[selArc[v]]
+				u.Union(e.U, e.V)
+			}
+		})
+		var labels []int32
+		labels, k = denseLabels(p, u)
+		par.For(p, len(edges), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				edges[i].U = labels[edges[i].U]
+				edges[i].V = labels[edges[i].V]
+			}
+		})
+		before := int64(len(edges))
+		edges, starts = boruvka.CompactWorkListSpan(boruvka.SortSampleSort, p, edges, k, opt.Seed+uint64(k), contract)
+		if obs.MetricsOn() {
+			if d := before - int64(len(edges)); d > 0 {
+				obs.EdgesRetired.Add(d)
+			}
+			obs.Supervertices.Set(int64(k))
 		}
 	})
-	par.For(p, len(picked), func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			v := picked[i]
-			e := edges[selArc[v]]
-			u.Union(e.U, e.V)
-		}
-	})
-	labels, k := denseLabels(p, u)
-	par.For(p, len(edges), func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			edges[i].U = labels[edges[i].U]
-			edges[i].V = labels[edges[i].V]
-		}
-	})
-	edges, starts = boruvka.CompactWorkList(p, edges, k, opt.Seed+uint64(k))
-	lv.Contract = time.Since(sw)
-
-	if opt.Stats {
-		stats.Levels = append(stats.Levels, lv)
-	}
+	contract.End()
+	lv.End()
 	return ids, edges, starts, k
 }
 

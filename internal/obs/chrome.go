@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export. The output loads in chrome://tracing and
+// Perfetto: {"traceEvents": [...]} with one complete ("X") event per
+// span. Timestamps and durations are microseconds; the exact span
+// duration is preserved in args["dur_ns"] so machine consumers (and the
+// integration tests) do not lose nanosecond precision to the µs scale.
+
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat,omitempty"`
+	Ph   string           `json:"ph"`
+	Ts   float64          `json:"ts"`
+	Dur  float64          `json:"dur"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes every completed span in the Chrome trace-event
+// JSON format. Events are ordered by start time (ties by span id) so the
+// output is deterministic for a given set of spans.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	spans := c.Spans()
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	trace := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(spans)),
+		DisplayTimeUnit: "ms",
+	}
+	for _, r := range spans {
+		args := make(map[string]int64, len(r.Args)+3)
+		for _, a := range r.Args {
+			args[a.Key] = a.Value
+		}
+		args["span_id"] = r.ID
+		args["parent_id"] = r.Parent
+		args["dur_ns"] = r.Dur.Nanoseconds()
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: r.Name,
+			Cat:  r.Cat,
+			Ph:   "X",
+			Ts:   float64(r.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(r.Dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  r.Worker,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(trace)
+}
+
+// ReadChromeTrace decodes a trace produced by WriteChromeTrace back into
+// span records (id, parent, name, cat, worker, start, dur). It exists
+// for the tooling and tests that post-process trace files.
+func ReadChromeTrace(r io.Reader) ([]SpanRecord, error) {
+	var trace chromeTrace
+	if err := json.NewDecoder(r).Decode(&trace); err != nil {
+		return nil, err
+	}
+	out := make([]SpanRecord, 0, len(trace.TraceEvents))
+	for _, ev := range trace.TraceEvents {
+		rec := SpanRecord{
+			Name:   ev.Name,
+			Cat:    ev.Cat,
+			Worker: ev.Tid,
+		}
+		for k, v := range ev.Args {
+			switch k {
+			case "span_id":
+				rec.ID = v
+			case "parent_id":
+				rec.Parent = v
+			case "dur_ns":
+				rec.Dur = durationFromNS(v)
+			default:
+				rec.Args = append(rec.Args, Arg{Key: k, Value: v})
+			}
+		}
+		rec.Start = durationFromUS(ev.Ts)
+		sort.Slice(rec.Args, func(i, j int) bool { return rec.Args[i].Key < rec.Args[j].Key })
+		out = append(out, rec)
+	}
+	return out, nil
+}

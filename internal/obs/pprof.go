@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// Pprof label keys attached to every phase while a collector is active.
+// `go tool pprof -tagfocus` or the web UI's tag views then attribute CPU
+// samples to algorithm and phase.
+const (
+	LabelAlgo  = "pmsf_algo"
+	LabelPhase = "pmsf_phase"
+)
+
+// Labeled runs f under pprof labels naming the algorithm and phase.
+// Goroutines forked inside f (the par worker teams) inherit the labels,
+// so whole parallel phases are attributed. When c is nil the function is
+// invoked directly with no label overhead.
+func (c *Collector) Labeled(algo, phase string, f func()) {
+	if c == nil {
+		f()
+		return
+	}
+	pprof.Do(context.Background(), pprof.Labels(LabelAlgo, algo, LabelPhase, phase),
+		func(context.Context) { f() })
+}

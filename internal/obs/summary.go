@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Summary is the machine-readable digest of one run: what the benchmark
+// harness stores and what `msf-bench -metrics` prints.
+type Summary struct {
+	// Algorithm and Workers are taken from the first root span (name and
+	// its "workers" argument) when present.
+	Algorithm string `json:"algorithm,omitempty"`
+	Workers   int    `json:"workers,omitempty"`
+	// WallNS is the end timestamp of the last-ending span: the traced
+	// wall clock of the run.
+	WallNS int64 `json:"wall_ns"`
+	// SpanCount is the number of completed spans.
+	SpanCount int `json:"span_count"`
+	// PhaseTotalNS sums span durations by span name.
+	PhaseTotalNS map[string]int64 `json:"phase_total_ns"`
+	// Counters is a snapshot of a metrics registry, when one was given.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Summarize aggregates the collected spans, plus a snapshot of reg when
+// non-nil (pass Default() for the process-wide kernel counters).
+func (c *Collector) Summarize(reg *Registry) *Summary {
+	s := &Summary{PhaseTotalNS: make(map[string]int64)}
+	for _, r := range c.Spans() {
+		s.SpanCount++
+		s.PhaseTotalNS[r.Name] += r.Dur.Nanoseconds()
+		if end := r.End().Nanoseconds(); end > s.WallNS {
+			s.WallNS = end
+		}
+		if r.Parent == 0 && s.Algorithm == "" {
+			s.Algorithm = r.Name
+			if w, ok := r.Arg("workers"); ok {
+				s.Workers = int(w)
+			}
+		}
+	}
+	if reg != nil {
+		s.Counters = reg.Snapshot()
+	}
+	return s
+}
+
+// PhaseTotal returns the summed duration of every span with the given
+// name.
+func (s *Summary) PhaseTotal(name string) time.Duration {
+	return time.Duration(s.PhaseTotalNS[name])
+}
+
+// WriteJSON writes the summary as indented JSON.
+func (s *Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+func durationFromNS(ns int64) time.Duration { return time.Duration(ns) }
+
+func durationFromUS(us float64) time.Duration {
+	return time.Duration(us * float64(time.Microsecond))
+}

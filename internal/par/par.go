@@ -14,6 +14,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"pmsf/internal/obs"
 )
 
 // DefaultWorkers returns the default parallelism for the library:
@@ -72,6 +74,9 @@ func Split(n, p int) []Range {
 // panics as ordinary panics with a usable stack instead of a crashed
 // runtime. When several workers panic, the lowest worker id wins.
 func Do(p int, body func(worker int)) {
+	if obs.MetricsOn() {
+		obs.ParPhases.Add(1)
+	}
 	if p <= 1 {
 		body(0)
 		return
@@ -133,7 +138,8 @@ func ForDynamic(p, n, grain int, body func(worker, lo, hi int)) {
 		body(0, 0, n)
 		return
 	}
-	var next atomic.Int64
+	var next, chunks atomic.Int64
+	metrics := obs.MetricsOn()
 	Do(p, func(w int) {
 		for {
 			lo := int(next.Add(int64(grain))) - grain
@@ -144,9 +150,15 @@ func ForDynamic(p, n, grain int, body func(worker, lo, hi int)) {
 			if hi > n {
 				hi = n
 			}
+			if metrics {
+				chunks.Add(1)
+			}
 			body(w, lo, hi)
 		}
 	})
+	if metrics {
+		obs.ParChunks.Add(chunks.Load())
+	}
 }
 
 // ReduceInt64 computes the sum of per-worker partial results of body over

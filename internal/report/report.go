@@ -7,11 +7,13 @@ package report
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"pmsf/internal/boruvka"
 	"pmsf/internal/filter"
 	"pmsf/internal/mstbc"
+	"pmsf/internal/obs"
 )
 
 // Boruvka writes a per-iteration table of a Borůvka run.
@@ -64,6 +66,36 @@ func Filter(w io.Writer, s *filter.Stats) error {
 		"filter: sampled %d of %d edges (p=%.2f, %d level(s)), discarded %d as heavy, final %d (%.2fx reduction)\n",
 		s.Sampled, s.M, s.SampleProb, s.Levels, s.Discarded, s.FinalM, reduction(s.M, s.FinalM))
 	return err
+}
+
+// Summary writes the machine-independent roll-up of a traced run: phase
+// totals in name order, then counters (when the summary has any).
+func Summary(w io.Writer, s *obs.Summary) error {
+	if _, err := fmt.Fprintf(w, "%s, p=%d, %d spans, wall %v\n",
+		s.Algorithm, s.Workers, s.SpanCount, round(time.Duration(s.WallNS))); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(s.PhaseTotalNS))
+	for name := range s.PhaseTotalNS {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "  %-20s %12v\n", name, round(time.Duration(s.PhaseTotalNS[name]))); err != nil {
+			return err
+		}
+	}
+	cnames := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		cnames = append(cnames, name)
+	}
+	sort.Strings(cnames)
+	for _, name := range cnames {
+		if _, err := fmt.Fprintf(w, "  %-20s %12d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func reduction(m, final int) float64 {

@@ -1,6 +1,7 @@
 package sorts
 
 import (
+	"pmsf/internal/obs"
 	"pmsf/internal/par"
 )
 
@@ -14,6 +15,11 @@ import (
 // Bor-EL edge-sort workload.
 func ParallelMergeSort[T any](p int, a []T, less func(x, y T) bool) {
 	n := len(a)
+	if obs.MetricsOn() {
+		obs.SortElements.Add(int64(n))
+	}
+	less, flush := counted(less)
+	defer flush()
 	const seqCutoff = 1 << 13
 	if p <= 1 || n < seqCutoff {
 		buf := make([]T, n)

@@ -8,9 +8,27 @@
 package sorts
 
 import (
+	"sync/atomic"
+
+	"pmsf/internal/obs"
 	"pmsf/internal/par"
 	"pmsf/internal/rng"
 )
+
+// counted wraps less with a comparison counter flushed into the
+// obs.SortComparisons counter when the returned flush func runs. When
+// metrics are disabled it returns less unchanged and a no-op flush.
+func counted[T any](less func(x, y T) bool) (func(x, y T) bool, func()) {
+	if !obs.MetricsOn() {
+		return less, func() {}
+	}
+	var cmps atomic.Int64
+	wrapped := func(x, y T) bool {
+		cmps.Add(1)
+		return less(x, y)
+	}
+	return wrapped, func() { obs.SortComparisons.Add(cmps.Load()) }
+}
 
 // InsertionCutoff is the default list length below which insertion sort is
 // used instead of merge sort. Profiling in the paper showed ~80% of
@@ -127,6 +145,11 @@ func IsSorted[T any](a []T, less func(x, y T) bool) bool {
 // result is always exactly sorted.
 func SampleSort[T any](p int, a []T, less func(x, y T) bool, seed uint64) {
 	n := len(a)
+	if obs.MetricsOn() {
+		obs.SortElements.Add(int64(n))
+	}
+	less, flush := counted(less)
+	defer flush()
 	const seqCutoff = 1 << 14
 	if p <= 1 || n < seqCutoff {
 		buf := make([]T, n)

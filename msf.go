@@ -21,11 +21,13 @@ package pmsf
 
 import (
 	"fmt"
+	"strings"
 
 	"pmsf/internal/boruvka"
 	"pmsf/internal/filter"
 	"pmsf/internal/graph"
 	"pmsf/internal/mstbc"
+	"pmsf/internal/obs"
 	"pmsf/internal/seq"
 	"pmsf/internal/verify"
 )
@@ -52,6 +54,34 @@ type MSTBCStats = mstbc.Stats
 // FilterStats is the instrumentation of the sampling filter (sample
 // size, discarded edge count, inner MSF stats).
 type FilterStats = filter.Stats
+
+// Trace collects the hierarchical spans of one run: every Borůvka
+// iteration and step, MST-BC level and phase, filter stage, and shared
+// sort kernel. Export with WriteChromeTrace (chrome://tracing /
+// Perfetto) or Summarize (machine-readable totals). A nil *Trace
+// disables collection at zero cost.
+type Trace = obs.Collector
+
+// NewTrace returns an empty trace collector to pass in Options.Trace.
+func NewTrace() *Trace { return obs.NewCollector() }
+
+// TraceSummary is the machine-readable roll-up of a traced run: phase
+// totals and counter values.
+type TraceSummary = obs.Summary
+
+// MetricsRegistry is the expvar-compatible registry of process-wide
+// counters and gauges.
+type MetricsRegistry = obs.Registry
+
+// Metrics returns the process-wide metrics registry (edges retired,
+// steal attempts, sort comparisons, arena bytes, ...). Counting is off
+// unless a run had Options.Metrics set or EnableMetrics was called.
+func Metrics() *MetricsRegistry { return obs.Default() }
+
+// EnableMetrics switches process-wide metric counting on or off. It is
+// also switched on for the duration of any run whose Options.Metrics is
+// set.
+func EnableMetrics(on bool) { obs.EnableMetrics(on) }
 
 // Algorithm selects an MSF implementation.
 type Algorithm int
@@ -130,7 +160,7 @@ func (a Algorithm) Parallel() bool { return a <= Filter }
 // insensitive, '-' optional) to an Algorithm.
 func ParseAlgorithm(name string) (Algorithm, error) {
 	for _, a := range Algorithms() {
-		if equalFold(name, a.String()) || equalFold(name, stripDash(a.String())) {
+		if strings.EqualFold(name, a.String()) || strings.EqualFold(name, stripDash(a.String())) {
 			return a, nil
 		}
 	}
@@ -138,32 +168,7 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 }
 
 func stripDash(s string) string {
-	out := make([]byte, 0, len(s))
-	for i := 0; i < len(s); i++ {
-		if s[i] != '-' {
-			out = append(out, s[i])
-		}
-	}
-	return string(out)
-}
-
-func equalFold(a, b string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := 0; i < len(a); i++ {
-		ca, cb := a[i], b[i]
-		if 'A' <= ca && ca <= 'Z' {
-			ca += 'a' - 'A'
-		}
-		if 'A' <= cb && cb <= 'Z' {
-			cb += 'a' - 'A'
-		}
-		if ca != cb {
-			return false
-		}
-	}
-	return true
+	return strings.ReplaceAll(s, "-", "")
 }
 
 // Options configures a run. The zero value is a sensible default: all
@@ -181,6 +186,14 @@ type Options struct {
 	// CollectStats enables per-iteration instrumentation, returned in
 	// Stats.
 	CollectStats bool
+	// Trace, when non-nil, collects hierarchical spans for the run
+	// (iterations, steps, levels, sort kernels) for export as a Chrome
+	// trace or JSON summary. Implies the same instrumentation
+	// CollectStats produces.
+	Trace *Trace
+	// Metrics enables the process-wide counters (see Metrics()) for the
+	// duration of the run.
+	Metrics bool
 }
 
 // Stats carries optional instrumentation; at most one field is non-nil,
@@ -202,7 +215,11 @@ func MinimumSpanningForest(g *Graph, algo Algorithm, opt Options) (*Forest, *Sta
 		return nil, nil, err
 	}
 	stats := &Stats{}
-	bopt := boruvka.Options{Workers: opt.Workers, Stats: opt.CollectStats, Seed: opt.Seed}
+	if opt.Metrics && !obs.MetricsOn() {
+		obs.EnableMetrics(true)
+		defer obs.EnableMetrics(false)
+	}
+	bopt := boruvka.Options{Workers: opt.Workers, Stats: opt.CollectStats, Seed: opt.Seed, Trace: opt.Trace}
 	switch algo {
 	case BorEL:
 		f, s := boruvka.EL(g, bopt)
@@ -223,13 +240,13 @@ func MinimumSpanningForest(g *Graph, algo Algorithm, opt Options) (*Forest, *Sta
 	case MSTBC:
 		f, s := mstbc.Run(g, mstbc.Options{
 			Workers: opt.Workers, BaseSize: opt.BaseSize,
-			Seed: opt.Seed, Stats: opt.CollectStats,
+			Seed: opt.Seed, Stats: opt.CollectStats, Trace: opt.Trace,
 		})
 		stats.MSTBC = s
 		return f, stats, nil
 	case Filter:
 		f, s := filter.Run(g, filter.Options{
-			Workers: opt.Workers, Seed: opt.Seed, Stats: opt.CollectStats,
+			Workers: opt.Workers, Seed: opt.Seed, Stats: opt.CollectStats, Trace: opt.Trace,
 		})
 		stats.Filter = s
 		return f, stats, nil

@@ -2,6 +2,7 @@ package pmsf_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"pmsf"
@@ -125,6 +126,40 @@ func TestParseAlgorithm(t *testing.T) {
 	}
 	if _, err := pmsf.ParseAlgorithm("dijkstra"); err == nil {
 		t.Error("unknown name accepted")
+	}
+}
+
+// TestParseAlgorithmRoundTrip checks the full property behind the table
+// above: for every algorithm, the canonical name and its case-folded and
+// dash-stripped variants all parse back to the same value, and near-miss
+// strings are rejected with the name echoed in the error.
+func TestParseAlgorithmRoundTrip(t *testing.T) {
+	for _, a := range pmsf.Algorithms() {
+		name := a.String()
+		variants := []string{
+			name,
+			strings.ToLower(name),
+			strings.ToUpper(name),
+			strings.ReplaceAll(name, "-", ""),
+			strings.ToLower(strings.ReplaceAll(name, "-", "")),
+		}
+		for _, v := range variants {
+			got, err := pmsf.ParseAlgorithm(v)
+			if err != nil {
+				t.Errorf("ParseAlgorithm(%q): %v", v, err)
+				continue
+			}
+			if got != a {
+				t.Errorf("ParseAlgorithm(%q) = %v, want %v", v, got, a)
+			}
+		}
+	}
+	for _, bad := range []string{"", " ", "bor", "bor-", "bor-el ", "el", "-", "mst_bc", "filter2"} {
+		if got, err := pmsf.ParseAlgorithm(bad); err == nil {
+			t.Errorf("ParseAlgorithm(%q) = %v, want error", bad, got)
+		} else if bad != "" && !strings.Contains(err.Error(), bad) {
+			t.Errorf("ParseAlgorithm(%q) error does not echo the input: %v", bad, err)
+		}
 	}
 }
 
