@@ -418,7 +418,7 @@ func BenchmarkAblationParallelSort(b *testing.B) {
 // in situ).
 func BenchmarkAblationELSortEngine(b *testing.B) {
 	g := randomGraph(6)
-	for _, engine := range []boruvka.SortEngine{boruvka.SortSampleSort, boruvka.SortParallelMerge, boruvka.SortRadix} {
+	for _, engine := range boruvka.SortEngines() {
 		b.Run(engine.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				boruvka.EL(g, boruvka.Options{SortEngine: engine, Seed: 1})
@@ -449,4 +449,46 @@ func BenchmarkObsOverhead(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkCompactGraphEngines measures the compact-graph kernel in
+// isolation: one CompactWorkListWith call per iteration, across the
+// sample sort, the sequential ten-pass full-key radix, and the
+// packed-key parallel radix compactor, at several worker counts and
+// duplicate-run skew levels. skew=c folds the vertex space by c,
+// simulating a late Borůvka round where each supervertex pair carries
+// many parallel edges — the regime the (W, ID) min-reduction targets.
+func BenchmarkCompactGraphEngines(b *testing.B) {
+	base := randomGraph(6)
+	for _, skew := range []int{1, 16, 256} {
+		edges := graph.DirectedWorkList(base)
+		n := base.N
+		if skew > 1 {
+			n = base.N / skew
+			for i := range edges {
+				edges[i].U %= int32(n)
+				edges[i].V %= int32(n)
+			}
+		}
+		for _, engine := range []boruvka.SortEngine{
+			boruvka.SortSampleSort, boruvka.SortRadix, boruvka.SortParallelRadix,
+		} {
+			for _, p := range []int{1, 4, 8} {
+				if engine == boruvka.SortRadix && p > 1 {
+					continue // sequential engine; p changes nothing
+				}
+				b.Run(fmt.Sprintf("skew=%d/%s/p=%d", skew, engine, p), func(b *testing.B) {
+					work := make([]graph.WEdge, len(edges))
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						b.StopTimer()
+						copy(work, edges)
+						b.StartTimer()
+						boruvka.CompactWorkListWith(engine, p, work, n, 1)
+					}
+				})
+			}
+		}
+	}
 }

@@ -1,0 +1,163 @@
+// Command benchguard is the warn-only perf guard for the compact-graph
+// kernel: it re-runs the engine study and compares it against the
+// committed baseline (results/BENCH_PR2.json).
+//
+// The primary signal is dimensionless and therefore machine- and
+// scale-independent: the speedup of the packed-key parallel radix
+// compactor over the sample-sort baseline at each (workload, p). If a
+// change erodes that ratio beyond the threshold, the guard prints a
+// WARN line; it never fails the build (perf is guarded, not gated —
+// CI machines are too noisy for a hard gate). When the fresh run uses
+// the same scale as the baseline, absolute ns/op drifts are also
+// reported.
+//
+// Usage:
+//
+//	benchguard [-baseline results/BENCH_PR2.json] [-scale small]
+//	           [-threshold 1.3]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pmsf/internal/bench"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "results/BENCH_PR2.json", "committed baseline report")
+	scaleFlag := flag.String("scale", "small", "scale for the fresh run: small, medium or paper")
+	threshold := flag.Float64("threshold", 1.3, "warn when a ratio degrades by more than this factor")
+	flag.Parse()
+
+	base, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	scale, err := bench.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	fresh := bench.CompactBench(bench.Config{
+		Scale: scale, Seed: base.Seed, Workers: workerSet(base),
+	})
+
+	warns := 0
+	warns += compareSpeedups(base, fresh, *threshold)
+	if fresh.Scale == base.Scale {
+		warns += compareAbsolute(base, fresh, *threshold)
+	} else {
+		fmt.Printf("note: fresh run at scale %s, baseline at %s; absolute ns/op not compared\n",
+			fresh.Scale, base.Scale)
+	}
+	if warns == 0 {
+		fmt.Println("benchguard: no regressions beyond threshold")
+	} else {
+		fmt.Printf("benchguard: %d warning(s) — investigate before trusting the perf numbers\n", warns)
+	}
+	// Warn-only by design: always exit 0 once both runs completed.
+}
+
+func loadBaseline(path string) (*bench.CompactBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var rep bench.CompactBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if len(rep.Entries) == 0 {
+		return nil, fmt.Errorf("baseline %s has no entries", path)
+	}
+	return &rep, nil
+}
+
+// workerSet extracts the distinct worker counts the baseline measured.
+func workerSet(rep *bench.CompactBenchReport) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, e := range rep.Entries {
+		if !seen[e.Workers] {
+			seen[e.Workers] = true
+			out = append(out, e.Workers)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// key identifies one measurement across reports.
+type key struct {
+	engine   string
+	workers  int
+	workload string
+}
+
+func index(rep *bench.CompactBenchReport) map[key]int64 {
+	m := map[key]int64{}
+	for _, e := range rep.Entries {
+		m[key{e.Engine, e.Workers, e.Workload}] = e.NsPerOp
+	}
+	return m
+}
+
+// compareSpeedups checks the candidate-over-baseline-engine speedup at
+// each (workload, p) in both reports and warns when the fresh ratio has
+// degraded by more than the threshold factor.
+func compareSpeedups(base, fresh *bench.CompactBenchReport, threshold float64) int {
+	bi, fi := index(base), index(fresh)
+	warns := 0
+	fmt.Printf("speedup of %s over %s (baseline vs fresh):\n", base.Candidate, base.Baseline)
+	for _, e := range base.Entries {
+		if e.Engine != base.Candidate {
+			continue
+		}
+		k := key{base.Candidate, e.Workers, e.Workload}
+		bref := bi[key{base.Baseline, e.Workers, e.Workload}]
+		fref := fi[key{base.Baseline, e.Workers, e.Workload}]
+		fcand := fi[k]
+		if bref == 0 || fref == 0 || fcand == 0 || e.NsPerOp == 0 {
+			continue // configuration not present in the fresh run
+		}
+		bs := float64(bref) / float64(e.NsPerOp)
+		fs := float64(fref) / float64(fcand)
+		line := fmt.Sprintf("  %-14s p=%-2d  %.2fx -> %.2fx", e.Workload, e.Workers, bs, fs)
+		if fs*threshold < bs || fs < 1.0 {
+			line += "   WARN: speedup degraded"
+			warns++
+		}
+		fmt.Println(line)
+	}
+	return warns
+}
+
+// compareAbsolute reports per-entry ns/op drift when the scales match.
+func compareAbsolute(base, fresh *bench.CompactBenchReport, threshold float64) int {
+	fi := index(fresh)
+	warns := 0
+	fmt.Println("absolute ns/op (baseline vs fresh, same scale):")
+	for _, e := range base.Entries {
+		f, ok := fi[key{e.Engine, e.Workers, e.Workload}]
+		if !ok || f == 0 || e.NsPerOp == 0 {
+			continue
+		}
+		ratio := float64(f) / float64(e.NsPerOp)
+		line := fmt.Sprintf("  %-14s %-14s p=%-2d  %12d -> %12d  (%+.1f%%)",
+			e.Workload, e.Engine, e.Workers, e.NsPerOp, f, (ratio-1)*100)
+		if ratio > threshold {
+			line += "   WARN: slower than baseline"
+			warns++
+		}
+		fmt.Println(line)
+	}
+	return warns
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

@@ -40,6 +40,8 @@ func main() {
 	algoFlag := flag.String("algo", "", "run one algorithm with span tracing instead of the experiment suite")
 	traceOut := flag.String("trace", "", "with -algo: write a Chrome trace-event JSON file to this path")
 	metricsFlag := flag.Bool("metrics", false, "with -algo: enable process-wide counters and print the run summary")
+	sortFlag := flag.String("sort", "", "Bor-EL compact-graph engine: parallel-radix (default), sample-sort, parallel-merge, radix")
+	benchJSON := flag.String("benchjson", "", "run the compact-graph engine study and write machine-readable results to this path (e.g. results/BENCH_PR2.json)")
 	flag.Parse()
 
 	scale, err := bench.ParseScale(*scaleFlag)
@@ -51,12 +53,18 @@ func main() {
 		fatal(err)
 	}
 	if *algoFlag != "" {
-		if err := profileRun(*algoFlag, scale, *seed, ps[0], *traceOut, *metricsFlag, *jsonFlag); err != nil {
+		if err := profileRun(*algoFlag, scale, *seed, ps[0], *traceOut, *metricsFlag, *jsonFlag, *sortFlag); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	cfg := bench.Config{Scale: scale, Seed: *seed, Workers: ps}
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	ids := bench.ExperimentIDs()
 	if *exp != "all" {
@@ -95,9 +103,10 @@ func main() {
 
 // profileRun executes the -algo path: one traced run, per-phase report
 // on stdout, optional Chrome trace file and metrics summary.
-func profileRun(algo string, scale bench.Scale, seed uint64, workers int, traceOut string, metrics, jsonOut bool) error {
+func profileRun(algo string, scale bench.Scale, seed uint64, workers int, traceOut string, metrics, jsonOut bool, sortEngine string) error {
 	res, err := bench.ProfileRun(bench.ProfileConfig{
 		Algo: algo, Scale: scale, Seed: seed, Workers: workers, Metrics: metrics,
+		Sort: sortEngine,
 	})
 	if err != nil {
 		return err
@@ -139,6 +148,30 @@ func profileRun(algo string, scale bench.Scale, seed uint64, workers int, traceO
 		}
 		fmt.Printf("trace: %d spans written to %s\n", len(res.Trace.Spans()), traceOut)
 	}
+	return nil
+}
+
+// writeBenchJSON runs the compact-graph engine study and writes the
+// machine-readable report (the repo's perf trajectory baseline).
+func writeBenchJSON(path string, cfg bench.Config) error {
+	rep := bench.CompactBench(cfg)
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("compact-graph engine study: %d measurements written to %s\n", len(rep.Entries), path)
 	return nil
 }
 

@@ -399,6 +399,7 @@ func Experiments() map[string]func(Config) []*Table {
 		"hybrid":     Hybrid,
 		"weights":    WeightsExp,
 		"ccbench":    CCBench,
+		"compact":    CompactExp,
 	}
 }
 
@@ -407,5 +408,6 @@ func ExperimentIDs() []string {
 	return []string{
 		"table1", "fig2", "fig3", "fig4", "fig5", "fig6",
 		"model", "profile", "graphstats", "filter", "ablation", "dense", "hybrid", "weights", "ccbench",
+		"compact",
 	}
 }

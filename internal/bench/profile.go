@@ -16,8 +16,9 @@ type ProfileConfig struct {
 	Scale   Scale
 	Ratio   int // edges = Ratio × n for the random input; 0 means 3
 	Seed    uint64
-	Workers int  // 0 means GOMAXPROCS
-	Metrics bool // enable process-wide counters for the run
+	Workers int    // 0 means GOMAXPROCS
+	Metrics bool   // enable process-wide counters for the run
+	Sort    string // Bor-EL compact-graph engine name; "" means the default
 }
 
 // ProfileResult is the artifact bundle of one traced run.
@@ -40,6 +41,13 @@ func ProfileRun(cfg ProfileConfig) (*ProfileResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	var engine pmsf.SortEngine
+	if cfg.Sort != "" {
+		engine, err = pmsf.ParseSortEngine(cfg.Sort)
+		if err != nil {
+			return nil, err
+		}
+	}
 	ratio := cfg.Ratio
 	if ratio <= 0 {
 		ratio = 3
@@ -57,6 +65,7 @@ func ProfileRun(cfg ProfileConfig) (*ProfileResult, error) {
 	tr := obs.NewCollector()
 	f, stats, err := pmsf.MinimumSpanningForest(g, algo, pmsf.Options{
 		Workers: cfg.Workers, Seed: cfg.Seed, CollectStats: true, Trace: tr,
+		SortEngine: engine,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("bench: profile run failed: %w", err)

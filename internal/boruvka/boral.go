@@ -2,7 +2,6 @@ package boruvka
 
 import (
 	"pmsf/internal/arena"
-	"pmsf/internal/cc"
 	"pmsf/internal/graph"
 	"pmsf/internal/obs"
 	"pmsf/internal/par"
@@ -20,10 +19,14 @@ func AL(g *graph.EdgeList, opt Options) (*graph.Forest, *Stats) {
 
 // ALM computes the minimum spanning forest with the Bor-ALM variant: the
 // identical algorithm and data structures as Bor-AL, but all transient
-// memory (per-list sort scratch, iteration output buffers) comes from
-// private per-worker buffers that are reused across iterations instead of
-// fresh shared-heap allocations — the Go analogue of the paper's
-// per-thread memory segments replacing the contended system malloc.
+// memory (per-list sort scratch, iteration output buffers, k-way merge
+// heads) comes from private per-worker buffers that are reused across
+// iterations instead of fresh shared-heap allocations — the Go analogue
+// of the paper's per-thread memory segments replacing the contended
+// system malloc. Together with the shared round workspace this makes the
+// ALM steady-state round allocation-free, which is the whole point of
+// the variant; plain AL deliberately keeps the heap allocations so the
+// A2 ablation retains its contrast.
 func ALM(g *graph.EdgeList, opt Options) (*graph.Forest, *Stats) {
 	return runAL(g, opt, true, "Bor-ALM")
 }
@@ -57,21 +60,15 @@ func (s *alState) adj(v int32) []graph.AdjEntry {
 	return s.arcs[o : o+int64(s.deg[v])]
 }
 
-func (s *alState) totalArcs(p int) int64 {
-	return par.ReduceInt64(p, s.n, func(_, lo, hi int) int64 {
-		var t int64
-		for v := lo; v < hi; v++ {
-			t += int64(s.deg[v])
-		}
-		return t
-	})
-}
+// kwayLimit is the group size above which mergeGroup falls back from a
+// direct k-way merge to concatenate-and-sort.
+const kwayLimit = 16
 
 // alMem serves the variant-dependent memory policy. In heap mode every
 // request is a fresh allocation; in arena mode per-worker buffers and the
 // iteration output buffer are reused, and the per-iteration vertex
-// arrays (chosen-neighbor, selected-edge, degree) come from reusable
-// backing slices as well.
+// arrays (degree, k-way merge heads) come from reusable backing slices
+// as well.
 type alMem struct {
 	arena   bool
 	sortBuf [][]graph.AdjEntry // per worker: merge-sort scratch
@@ -80,9 +77,10 @@ type alMem struct {
 	// stack up in private pages and a Reset at the next compact-graph
 	// reuses them — the paper's per-thread memory segments.
 	concatSlabs []*arena.Slab[graph.AdjEntry]
-	spare       []graph.AdjEntry // ping-pong iteration output buffer
-	i32Bufs     [4][]int32       // reusable vertex-sized arrays
-	degSlot     int              // ping-pong slot (2 or 3) for the degree array
+	kwayBuf     [][][]graph.AdjEntry // per worker: reusable k-way merge heads
+	spare       []graph.AdjEntry     // ping-pong iteration output buffer
+	i32Bufs     [4][]int32           // reusable vertex-sized arrays
+	degSlot     int                  // ping-pong slot (2 or 3) for the degree array
 }
 
 func newALMem(arenaMode bool, p int) *alMem {
@@ -90,8 +88,10 @@ func newALMem(arenaMode bool, p int) *alMem {
 	if arenaMode {
 		m.sortBuf = make([][]graph.AdjEntry, p)
 		m.concatSlabs = make([]*arena.Slab[graph.AdjEntry], p)
+		m.kwayBuf = make([][][]graph.AdjEntry, p)
 		for w := range m.concatSlabs {
 			m.concatSlabs[w] = arena.NewSlab[graph.AdjEntry](1 << 14)
+			m.kwayBuf[w] = make([][]graph.AdjEntry, 0, kwayLimit)
 		}
 	}
 	return m
@@ -120,6 +120,15 @@ func (m *alMem) concatScratch(w, n int) []graph.AdjEntry {
 		return make([]graph.AdjEntry, n)
 	}
 	return m.concatSlabs[w].Alloc(n)
+}
+
+// kwayLists returns an empty slice of list heads with room for
+// kwayLimit entries; arena mode reuses a per-worker backing array.
+func (m *alMem) kwayLists(w int) [][]graph.AdjEntry {
+	if !m.arena {
+		return make([][]graph.AdjEntry, 0, kwayLimit)
+	}
+	return m.kwayBuf[w][:0]
 }
 
 // vertexInts returns a zeroed int32 slice of length n. In arena mode
@@ -156,147 +165,256 @@ func (m *alMem) output(n int, old []graph.AdjEntry) []graph.AdjEntry {
 	return buf[:n]
 }
 
-func runAL(g *graph.EdgeList, opt Options, arenaMode bool, name string) (*graph.Forest, *Stats) {
+// alRun is the team-based Bor-AL/ALM loop state. All loop-level arrays
+// (off ping-pong, grouping order/starts, per-worker totals) are sized
+// for the first round and reused; the variant-dependent transient
+// memory goes through alMem. With the arena policy (Bor-ALM) the
+// steady-state round allocates nothing.
+type alRun struct {
+	name      string
+	p, cutoff int
+	c         *obs.Collector
+	root      obs.Span
+	ws        *Workspace
+	mem       *alMem
+	st        alState
+
+	offSpare  []int64 // ping-pong partner of st.off's backing array
+	order     []int32
+	gstarts   []int64
+	arcTotals []int64 // per-worker arc counts for totalArcs
+	labels    []int32
+	k         int
+	total     int64
+
+	// Compact-phase scratch published to the worker bodies.
+	newOff  []int64
+	newArcs []graph.AdjEntry
+	newDeg  []int32
+
+	findMinBody   func(worker, lo, hi int)
+	sortListsBody func(worker, lo, hi int)
+	mergeBody     func(worker, lo, hi int)
+	relabelBody   func(int)
+	boundBody     func(int)
+	totalBody     func(int)
+	findMinFn     func()
+	connectFn     func()
+	compactFn     func()
+}
+
+func newALRun(g *graph.EdgeList, opt Options, arenaMode bool, name string) *alRun {
 	p := opt.workers()
-	cutoff := opt.cutoff()
 	c, root := obsStart(opt, name, p)
-	mem := newALMem(arenaMode, p)
+	r := &alRun{
+		name:   name,
+		p:      p,
+		cutoff: opt.cutoff(),
+		c:      c,
+		root:   root,
+		mem:    newALMem(arenaMode, p),
+	}
+	r.ws = newWorkspace(p, g.N)
+	r.findMinBody = r.findMinWork
+	r.sortListsBody = r.sortListsWork
+	r.mergeBody = r.mergeWork
+	r.relabelBody = r.relabelWork
+	r.boundBody = r.boundWork
+	r.totalBody = r.totalWork
+	r.findMinFn = r.findMinPhase
+	r.connectFn = r.connectPhase
+	r.compactFn = r.compactPhase
 
 	adj := graph.BuildAdj(g)
-	st := &alState{n: adj.N, off: adj.Off, arcs: adj.Arcs}
-	st.deg = make([]int32, adj.N)
+	r.st = alState{n: adj.N, off: adj.Off, arcs: adj.Arcs}
+	r.st.deg = make([]int32, adj.N)
 	for v := 0; v < adj.N; v++ {
-		st.deg[v] = int32(adj.Off[v+1] - adj.Off[v])
+		r.st.deg[v] = int32(adj.Off[v+1] - adj.Off[v])
 	}
 	// The initial CSR may contain parallel edges from the input; they are
 	// merged by the first compact-graph like in the paper.
-
-	var ids []int32
-	for {
-		total := st.totalArcs(p)
-		if total == 0 {
-			break
-		}
-		it := root.Child("iteration")
-		it.SetInt("n", int64(st.n))
-		it.SetInt("list_size", total)
-
-		// Step 1: find-min over each adjacency list.
-		step := it.Child("find-min")
-		parent := mem.vertexInts(0, st.n)
-		sel := mem.vertexInts(1, st.n)
-		c.Labeled(name, "find-min", func() {
-			par.ForDynamic(p, st.n, 512, func(_, lo, hi int) {
-				for v := lo; v < hi; v++ {
-					list := st.adj(int32(v))
-					if len(list) == 0 {
-						parent[v] = int32(v)
-						continue
-					}
-					best := 0
-					for i := 1; i < len(list); i++ {
-						if list[i].W < list[best].W ||
-							(list[i].W == list[best].W && list[i].EID < list[best].EID) {
-							best = i
-						}
-					}
-					parent[v] = list[best].To
-					sel[v] = list[best].EID
-				}
-			})
-			ids = harvest(p, parent, sel, ids)
-		})
-		step.End()
-
-		// Step 2: connect-components.
-		step = it.Child("connect-components")
-		var labels []int32
-		var k int
-		c.Labeled(name, "connect-components", func() {
-			labels, k = cc.Resolve(p, parent)
-		})
-		step.End()
-
-		// Step 3: compact-graph (two-level sort + group merge).
-		step = it.Child("compact-graph")
-		c.Labeled(name, "compact-graph", func() {
-			mem.resetIteration()
-			st = compactAL(p, cutoff, st, labels, k, mem)
-		})
-		step.End()
-		if obs.MetricsOn() {
-			retire(total - st.totalArcs(p))
-			contracted(st.n)
-		}
-
-		it.End()
-	}
-	root.End()
-	return finish(g, ids, st.n), statsView(c, root, name, p, opt.Stats)
+	r.offSpare = make([]int64, adj.N+1)
+	r.order = make([]int32, adj.N)
+	r.gstarts = make([]int64, adj.N+1)
+	r.arcTotals = make([]int64, p)
+	return r
 }
 
-// compactAL performs the Bor-AL compact-graph step: relabel arc targets,
-// group vertices by supervertex label (parallel counting sort), sort each
-// vertex's list (insertion sort below cutoff, bottom-up merge sort
-// above), and merge every group's sorted lists into the new supervertex's
-// list, dropping self-loops and keeping the minimum edge per target.
-func compactAL(p, cutoff int, st *alState, labels []int32, k int, mem *alMem) *alState {
-	// Relabel arc targets to new supervertex ids.
-	par.For(p, st.n, func(_, lo, hi int) {
-		for v := lo; v < hi; v++ {
-			list := st.adj(int32(v))
-			for i := range list {
-				list[i].To = labels[list[i].To]
+func (r *alRun) totalArcs() int64 {
+	r.ws.team.Run(r.totalBody)
+	var t int64
+	for _, v := range r.arcTotals {
+		t += v
+	}
+	return t
+}
+
+func (r *alRun) round() bool {
+	total := r.totalArcs()
+	if total == 0 {
+		return false
+	}
+	it := r.root.Child("iteration")
+	it.SetInt("n", int64(r.st.n))
+	it.SetInt("list_size", total)
+
+	step := it.Child("find-min")
+	labeled(r.c, r.name, "find-min", r.findMinFn)
+	step.End()
+
+	step = it.Child("connect-components")
+	labeled(r.c, r.name, "connect-components", r.connectFn)
+	step.End()
+
+	step = it.Child("compact-graph")
+	labeled(r.c, r.name, "compact-graph", r.compactFn)
+	step.End()
+	if obs.MetricsOn() {
+		retire(total - r.totalArcs())
+		contracted(r.st.n)
+	}
+
+	it.End()
+	return true
+}
+
+func (r *alRun) findMinPhase() {
+	r.ws.team.ForDynamic(r.st.n, 512, r.findMinBody)
+	r.ws.harvest(r.st.n)
+}
+
+// findMinWork scans each vertex's adjacency list for its minimum edge.
+func (r *alRun) findMinWork(_, lo, hi int) {
+	parent, sel := r.ws.parent, r.ws.sel
+	for v := lo; v < hi; v++ {
+		list := r.st.adj(int32(v))
+		if len(list) == 0 {
+			parent[v] = int32(v)
+			continue
+		}
+		best := 0
+		for i := 1; i < len(list); i++ {
+			if list[i].W < list[best].W ||
+				(list[i].W == list[best].W && list[i].EID < list[best].EID) {
+				best = i
 			}
 		}
-	})
+		parent[v] = list[best].To
+		sel[v] = list[best].EID
+	}
+}
+
+func (r *alRun) connectPhase() {
+	r.labels, r.k = r.ws.res.Resolve(r.ws.parent[:r.st.n])
+}
+
+// compactPhase performs the Bor-AL compact-graph step: relabel arc
+// targets, group vertices by supervertex label (team counting sort),
+// sort each vertex's list (insertion sort below cutoff, bottom-up merge
+// sort above), and merge every group's sorted lists into the new
+// supervertex's list, dropping self-loops and keeping the minimum edge
+// per target.
+func (r *alRun) compactPhase() {
+	r.mem.resetIteration()
+	k := r.k
+
+	// Relabel arc targets to new supervertex ids.
+	r.ws.team.Run(r.relabelBody)
 
 	// Level-1 sort: group the vertex array by supervertex label.
-	order, gstarts := sorts.CountingGroup(p, labels, k)
+	r.ws.grp.Group(r.labels, k, r.order[:r.st.n], r.gstarts[:k+1])
 
 	// Level-2 sort: each vertex's list, concurrently.
-	par.ForDynamic(p, st.n, 256, func(w, lo, hi int) {
-		for v := lo; v < hi; v++ {
-			list := st.adj(int32(v))
-			if len(list) < cutoff {
-				sorts.Insertion(list, adjLess)
-			} else {
-				sorts.MergeBottomUp(list, mem.sortScratch(w, len(list)), adjLess)
-			}
-		}
-	})
+	r.ws.team.ForDynamic(r.st.n, 256, r.sortListsBody)
 
 	// Bound each group's output region by the sum of member degrees, then
 	// turn the sizes into region starts with an exclusive prefix sum.
-	newOff := make([]int64, k+1)
-	par.For(p, k, func(_, lo, hi int) {
-		for g := lo; g < hi; g++ {
-			var sum int64
-			for i := gstarts[g]; i < gstarts[g+1]; i++ {
-				sum += int64(st.deg[order[i]])
-			}
-			newOff[g] = sum
-		}
-	})
-	newOff[k] = par.ScanInt64(p, newOff[:k])
+	r.newOff = r.offSpare[:k+1]
+	r.ws.team.Run(r.boundBody)
+	var pos int64
+	for g := 0; g < k; g++ {
+		v := r.newOff[g]
+		r.newOff[g] = pos
+		pos += v
+	}
+	r.newOff[k] = pos
 
-	newArcs := mem.output(int(newOff[k]), st.arcs)
+	r.newArcs = r.mem.output(int(pos), r.st.arcs)
 	// The degree array must not alias the previous iteration's (still
 	// being read below), so arena mode ping-pongs between two slots.
-	degSlot := 2 + mem.degSlot
-	mem.degSlot = 1 - mem.degSlot
-	newDeg := mem.vertexInts(degSlot, k)
+	degSlot := 2 + r.mem.degSlot
+	r.mem.degSlot = 1 - r.mem.degSlot
+	r.newDeg = r.mem.vertexInts(degSlot, k)
 
 	// Merge each group's sorted member lists.
-	par.ForDynamic(p, k, 64, func(w, lo, hi int) {
-		for g := lo; g < hi; g++ {
-			members := order[gstarts[g]:gstarts[g+1]]
-			dst := newArcs[newOff[g]:newOff[g+1]]
-			newDeg[g] = mergeGroup(st, members, int32(g), dst, w, mem)
-		}
-	})
+	r.ws.team.ForDynamic(k, 64, r.mergeBody)
 
-	return &alState{n: k, off: newOff[:k], deg: newDeg, arcs: newArcs}
+	r.offSpare = r.st.off[:cap(r.st.off)]
+	r.st = alState{n: k, off: r.newOff[:k], deg: r.newDeg, arcs: r.newArcs}
+	r.newOff, r.newArcs, r.newDeg = nil, nil, nil
+}
+
+func (r *alRun) relabelWork(w int) {
+	lo, hi := par.Block(r.st.n, r.p, w)
+	labels := r.labels
+	for v := lo; v < hi; v++ {
+		list := r.st.adj(int32(v))
+		for i := range list {
+			list[i].To = labels[list[i].To]
+		}
+	}
+}
+
+func (r *alRun) sortListsWork(w, lo, hi int) {
+	for v := lo; v < hi; v++ {
+		list := r.st.adj(int32(v))
+		if len(list) < r.cutoff {
+			sorts.Insertion(list, adjLess)
+		} else {
+			sorts.MergeBottomUp(list, r.mem.sortScratch(w, len(list)), adjLess)
+		}
+	}
+}
+
+func (r *alRun) boundWork(w int) {
+	lo, hi := par.Block(r.k, r.p, w)
+	order, gstarts := r.order, r.gstarts
+	for g := lo; g < hi; g++ {
+		var sum int64
+		for i := gstarts[g]; i < gstarts[g+1]; i++ {
+			sum += int64(r.st.deg[order[i]])
+		}
+		r.newOff[g] = sum
+	}
+}
+
+func (r *alRun) mergeWork(w, lo, hi int) {
+	for g := lo; g < hi; g++ {
+		members := r.order[r.gstarts[g]:r.gstarts[g+1]]
+		dst := r.newArcs[r.newOff[g]:r.newOff[g+1]]
+		r.newDeg[g] = mergeGroup(&r.st, members, int32(g), dst, w, r.mem)
+	}
+}
+
+func (r *alRun) totalWork(w int) {
+	lo, hi := par.Block(r.st.n, r.p, w)
+	deg := r.st.deg
+	var t int64
+	for v := lo; v < hi; v++ {
+		t += int64(deg[v])
+	}
+	r.arcTotals[w] = t
+}
+
+func runAL(g *graph.EdgeList, opt Options, arenaMode bool, name string) (*graph.Forest, *Stats) {
+	r := newALRun(g, opt, arenaMode, name)
+	for r.round() {
+	}
+	r.root.End()
+	f := finish(g, r.ws.forestIDs(), r.st.n)
+	stats := statsView(r.c, r.root, r.name, r.p, opt.Stats)
+	r.ws.Close()
+	return f, stats
 }
 
 // mergeGroup merges the sorted adjacency lists of the member vertices
@@ -305,7 +423,6 @@ func compactAL(p, cutoff int, st *alState, labels []int32, k int, mem *alMem) *a
 // Small groups use a direct k-way merge; large groups fall back to
 // concatenate-and-sort.
 func mergeGroup(st *alState, members []int32, self int32, dst []graph.AdjEntry, w int, mem *alMem) int32 {
-	const kwayLimit = 16
 	if len(members) == 1 {
 		// Isolated supervertex (no chosen edge): list must be empty.
 		return filterCopy(st.adj(members[0]), self, dst)
@@ -324,7 +441,7 @@ func mergeGroup(st *alState, members []int32, self int32, dst []graph.AdjEntry, 
 		return filterCopy(buf, self, dst)
 	}
 	// K-way merge with linear head scan (groups are small).
-	lists := make([][]graph.AdjEntry, 0, len(members))
+	lists := mem.kwayLists(w)
 	for _, v := range members {
 		if l := st.adj(v); len(l) > 0 {
 			lists = append(lists, l)

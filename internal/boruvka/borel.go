@@ -27,22 +27,188 @@ func wedgeLess(a, b graph.WEdge) bool {
 
 // EL computes the minimum spanning forest with the Bor-EL variant:
 // parallel Borůvka over an edge-list representation whose compact-graph
-// step is a single global parallel sample sort followed by a prefix-sum
-// merge of self-loops and duplicate edges.
+// step is a global sort of the working list. With the default
+// SortParallelRadix engine the whole iteration runs on a persistent
+// worker team out of a reusable round workspace — packed-key parallel
+// radix compaction, zero heap allocations per steady-state round. The
+// comparator engines (sample sort, parallel merge, sequential radix)
+// keep the paper's original formulation for the ablation benchmarks.
 func EL(g *graph.EdgeList, opt Options) (*graph.Forest, *Stats) {
+	if opt.SortEngine == SortParallelRadix {
+		return elTeam(g, opt)
+	}
+	return elSorted(g, opt)
+}
+
+// elRun is the team-based Bor-EL loop state: every buffer is allocated
+// in newELRun (sized for the first round, the largest the run will see)
+// and the phase bodies are prebound method values, so round() allocates
+// nothing in steady state. Tests drive round() directly to pin that.
+type elRun struct {
+	name string
+	p    int
+	c    *obs.Collector
+	root obs.Span
+	ws   *Workspace
+	comp *sorts.Compactor
+
+	edges, spare []graph.WEdge
+	keepIdx      []int32
+	starts       []int64
+	labels       []int32
+	n, k         int
+	iter         int
+
+	findMinBody func(worker, lo, hi int)
+	relabelBody func(int)
+	findMinFn   func()
+	connectFn   func()
+	compactFn   func()
+}
+
+func newELRun(g *graph.EdgeList, opt Options) *elRun {
+	p := opt.workers()
+	c, root := obsStart(opt, "Bor-EL", p)
+	r := &elRun{name: "Bor-EL", p: p, c: c, root: root, n: g.N}
+	r.ws = newWorkspace(p, g.N)
+	r.comp = sorts.NewCompactor(p, r.ws.team)
+	r.findMinBody = r.findMinWork
+	r.relabelBody = r.relabelWork
+	r.findMinFn = r.findMinPhase
+	r.connectFn = r.connectPhase
+	r.compactFn = r.compactPhase
+
+	r.edges = graph.DirectedWorkList(g)
+	m := len(r.edges)
+	r.spare = make([]graph.WEdge, m)
+	r.keepIdx = make([]int32, m)
+	r.starts = make([]int64, g.N+1)
+
+	// Initial compaction: merge input parallel edges and compute the
+	// vertex segment starts. (Counted as setup, not as an iteration.)
+	setup := root.Child("setup")
+	labeled(c, r.name, "setup", func() {
+		before := int64(len(r.edges))
+		r.edges, r.spare = r.comp.Compact(r.edges, r.spare, r.n, r.keepIdx, r.starts[:r.n+1])
+		retire(before - int64(len(r.edges)))
+	})
+	setup.SetInt("radix_passes", int64(r.comp.Passes))
+	setup.End()
+	return r
+}
+
+// round runs one Borůvka iteration and reports whether the working list
+// still had edges (i.e. whether an iteration actually ran).
+func (r *elRun) round() bool {
+	if len(r.edges) == 0 {
+		return false
+	}
+	it := r.root.Child("iteration")
+	it.SetInt("n", int64(r.n))
+	it.SetInt("list_size", int64(len(r.edges)))
+
+	step := it.Child("find-min")
+	labeled(r.c, r.name, "find-min", r.findMinFn)
+	step.End()
+
+	step = it.Child("connect-components")
+	labeled(r.c, r.name, "connect-components", r.connectFn)
+	step.End()
+
+	step = it.Child("compact-graph")
+	before := int64(len(r.edges))
+	labeled(r.c, r.name, "compact-graph", r.compactFn)
+	retire(before - int64(len(r.edges)))
+	step.SetInt("radix_passes", int64(r.comp.Passes))
+	step.SetInt("digit_bits", int64(r.comp.LastDigitBits))
+	step.End()
+	contracted(r.n)
+
+	it.End()
+	r.iter++
+	return true
+}
+
+func elTeam(g *graph.EdgeList, opt Options) (*graph.Forest, *Stats) {
+	r := newELRun(g, opt)
+	for r.round() {
+	}
+	r.root.End()
+	f := finish(g, r.ws.forestIDs(), r.n)
+	stats := statsView(r.c, r.root, r.name, r.p, opt.Stats)
+	r.ws.Close()
+	return f, stats
+}
+
+// findMinPhase: each vertex scans its contiguous segment of the sorted
+// working list for its minimum edge, then the round's selections are
+// harvested into the forest.
+func (r *elRun) findMinPhase() {
+	r.ws.team.ForDynamic(r.n, 1024, r.findMinBody)
+	r.ws.harvest(r.n)
+}
+
+func (r *elRun) findMinWork(_, lo, hi int) {
+	edges, starts := r.edges, r.starts
+	parent, sel := r.ws.parent, r.ws.sel
+	for v := lo; v < hi; v++ {
+		segLo, segHi := starts[v], starts[v+1]
+		if segLo == segHi {
+			parent[v] = int32(v)
+			continue
+		}
+		best := segLo
+		for i := segLo + 1; i < segHi; i++ {
+			if edges[i].W < edges[best].W ||
+				(edges[i].W == edges[best].W && edges[i].ID < edges[best].ID) {
+				best = i
+			}
+		}
+		parent[v] = edges[best].V
+		sel[v] = edges[best].ID
+	}
+}
+
+func (r *elRun) connectPhase() {
+	r.labels, r.k = r.ws.res.Resolve(r.ws.parent[:r.n])
+}
+
+// compactPhase: relabel both endpoints to the new supervertex ids, then
+// run the packed-key radix compaction into the ping-pong buffers.
+func (r *elRun) compactPhase() {
+	r.ws.team.Run(r.relabelBody)
+	r.n = r.k
+	r.edges, r.spare = r.comp.Compact(r.edges, r.spare, r.n, r.keepIdx, r.starts[:r.n+1])
+}
+
+func (r *elRun) relabelWork(w int) {
+	lo, hi := par.Block(len(r.edges), r.p, w)
+	edges, labels := r.edges, r.labels
+	for i := lo; i < hi; i++ {
+		edges[i].U = labels[edges[i].U]
+		edges[i].V = labels[edges[i].V]
+	}
+}
+
+// elSorted is the comparator-engine Bor-EL loop (sample sort, parallel
+// merge, sequential radix): the paper's original formulation, kept for
+// the sort-engine ablation. The sequential-radix scratch buffer is
+// allocated once and reused across rounds.
+func elSorted(g *graph.EdgeList, opt Options) (*graph.Forest, *Stats) {
 	p := opt.workers()
 	const name = "Bor-EL"
 	c, root := obsStart(opt, name, p)
 
 	edges := graph.DirectedWorkList(g)
 	n := g.N
+	var scratch []graph.WEdge
 	// Initial compaction: sort and merge parallel edges, compute vertex
 	// segment starts. (Counted as setup, not as an iteration.)
 	var starts []int64
 	setup := root.Child("setup")
 	c.Labeled(name, "setup", func() {
 		before := int64(len(edges))
-		edges, starts = compactWorkListSpan(opt.SortEngine, p, edges, n, opt.Seed, setup)
+		edges, starts, scratch = compactWorkListInto(opt.SortEngine, p, edges, n, opt.Seed, setup, scratch)
 		retire(before - int64(len(edges)))
 	})
 	setup.End()
@@ -91,7 +257,7 @@ func EL(g *graph.EdgeList, opt Options) (*graph.Forest, *Stats) {
 		})
 		step.End()
 
-		// Step 3: compact-graph — relabel, global sample sort, merge.
+		// Step 3: compact-graph — relabel, global sort, merge.
 		step = it.Child("compact-graph")
 		c.Labeled(name, "compact-graph", func() {
 			par.For(p, len(edges), func(_, lo, hi int) {
@@ -102,7 +268,7 @@ func EL(g *graph.EdgeList, opt Options) (*graph.Forest, *Stats) {
 			})
 			n = k
 			before := int64(len(edges))
-			edges, starts = compactWorkListSpan(opt.SortEngine, p, edges, n, opt.Seed+uint64(iter)+1, step)
+			edges, starts, scratch = compactWorkListInto(opt.SortEngine, p, edges, n, opt.Seed+uint64(iter)+1, step, scratch)
 			retire(before - int64(len(edges)))
 		})
 		step.End()
@@ -123,26 +289,53 @@ func CompactWorkList(p int, edges []graph.WEdge, n int, seed uint64) ([]graph.WE
 	return CompactWorkListWith(SortSampleSort, p, edges, n, seed)
 }
 
-// CompactWorkListWith is CompactWorkList with a selectable parallel sort
-// engine.
+// CompactWorkListWith is CompactWorkList with a selectable sort engine
+// (including the packed-key parallel radix compactor).
 func CompactWorkListWith(engine SortEngine, p int, edges []graph.WEdge, n int, seed uint64) ([]graph.WEdge, []int64) {
-	return compactWorkListSpan(engine, p, edges, n, seed, obs.Span{})
+	return CompactWorkListSpan(engine, p, edges, n, seed, obs.Span{})
 }
 
 // CompactWorkListSpan is CompactWorkListWith with the sort kernel
 // recorded as a child span of parent (inert parents record nothing).
 func CompactWorkListSpan(engine SortEngine, p int, edges []graph.WEdge, n int, seed uint64, parent obs.Span) ([]graph.WEdge, []int64) {
-	return compactWorkListSpan(engine, p, edges, n, seed, parent)
+	out, starts, _ := compactWorkListInto(engine, p, edges, n, seed, parent, nil)
+	return out, starts
 }
 
-func compactWorkListSpan(engine SortEngine, p int, edges []graph.WEdge, n int, seed uint64, parent obs.Span) ([]graph.WEdge, []int64) {
+// compactWorkListInto is the engine-dispatched compaction with scratch
+// threading: scratch is reused as the radix/compactor double buffer when
+// large enough (grown otherwise) and the grown buffer is returned, so
+// loop callers allocate the scratch once instead of every round.
+func compactWorkListInto(engine SortEngine, p int, edges []graph.WEdge, n int, seed uint64, parent obs.Span, scratch []graph.WEdge) ([]graph.WEdge, []int64, []graph.WEdge) {
+	if engine == SortParallelRadix {
+		// One-shot use of the packed-key kernel (the team-based EL loop
+		// owns a persistent compactor instead of coming through here).
+		if cap(scratch) < len(edges) {
+			scratch = make([]graph.WEdge, len(edges))
+		}
+		sp := parent.Child("sort")
+		sp.SetInt("elements", int64(len(edges)))
+		team := par.NewTeam(p)
+		comp := sorts.NewCompactor(p, team)
+		keepIdx := make([]int32, len(edges))
+		starts := make([]int64, n+1)
+		out, newScratch := comp.Compact(edges, scratch[:len(edges)], n, keepIdx, starts)
+		team.Close()
+		sp.SetInt("radix_passes", int64(comp.Passes))
+		sp.End()
+		return out, starts, newScratch
+	}
+
 	sp := parent.Child("sort")
 	sp.SetInt("elements", int64(len(edges)))
 	switch engine {
 	case SortParallelMerge:
 		sorts.ParallelMergeSort(p, edges, wedgeLess)
 	case SortRadix:
-		sorts.RadixSortWEdges(edges, make([]graph.WEdge, len(edges)))
+		if cap(scratch) < len(edges) {
+			scratch = make([]graph.WEdge, len(edges))
+		}
+		sorts.RadixSortWEdges(edges, scratch[:len(edges)])
 	default:
 		sorts.SampleSort(p, edges, wedgeLess, seed)
 	}
@@ -187,5 +380,5 @@ func compactWorkListSpan(engine SortEngine, p int, edges []graph.WEdge, n int, s
 			starts[v] = starts[v+1]
 		}
 	}
-	return out, starts
+	return out, starts, scratch
 }

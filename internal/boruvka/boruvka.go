@@ -41,8 +41,10 @@ type Options struct {
 	// Seed drives sample-sort splitter selection (Bor-EL) only; results
 	// are identical for any seed.
 	Seed uint64
-	// SortEngine selects the parallel sort behind Bor-EL's compact-graph
-	// step; the default is the paper's sample sort.
+	// SortEngine selects the compact-graph engine of Bor-EL; the default
+	// is the packed-key parallel radix compactor (SortParallelRadix).
+	// The comparator engines keep the paper's original formulation for
+	// the ablation benchmarks.
 	SortEngine SortEngine
 	// Trace, when non-nil, receives hierarchical spans for every
 	// iteration and step. The returned Stats derive from the same span
@@ -54,14 +56,20 @@ type Options struct {
 	Parent obs.Span
 }
 
-// SortEngine names a parallel sorting algorithm for the Bor-EL edge
+// SortEngine names a compact-graph sorting engine for the Bor-EL edge
 // sort.
 type SortEngine int
 
 const (
+	// SortParallelRadix is the packed-key parallel radix compactor: the
+	// (U, V) pair packed into one uint64, parallel per-worker histogram
+	// counting-sort passes with the digit width chosen from the current
+	// supervertex count, and a per-run (W, ID) min-reduction instead of
+	// sorting the full key. The zero value, i.e. the default engine.
+	SortParallelRadix SortEngine = iota
 	// SortSampleSort is the Helman-JáJá parallel sample sort (the
 	// paper's choice).
-	SortSampleSort SortEngine = iota
+	SortSampleSort
 	// SortParallelMerge is pairwise parallel merge sort.
 	SortParallelMerge
 	// SortRadix is a sequential 10-pass LSD radix sort specialized to the
@@ -69,9 +77,17 @@ const (
 	SortRadix
 )
 
+// SortEngines lists every engine in a stable order (for benchmarks and
+// flag help).
+func SortEngines() []SortEngine {
+	return []SortEngine{SortParallelRadix, SortSampleSort, SortParallelMerge, SortRadix}
+}
+
 // String names the engine.
 func (e SortEngine) String() string {
 	switch e {
+	case SortParallelRadix:
+		return "parallel-radix"
 	case SortSampleSort:
 		return "sample-sort"
 	case SortParallelMerge:
@@ -80,6 +96,16 @@ func (e SortEngine) String() string {
 		return "radix"
 	}
 	return "unknown"
+}
+
+// ParseSortEngine resolves an engine name as printed by String.
+func ParseSortEngine(s string) (SortEngine, bool) {
+	for _, e := range SortEngines() {
+		if e.String() == s {
+			return e, true
+		}
+	}
+	return 0, false
 }
 
 func (o Options) workers() int {

@@ -71,7 +71,7 @@ func TestFALChainConservation(t *testing.T) {
 func TestELInvariantAllEngines(t *testing.T) {
 	g := gen.Random(1200, 7000, 23)
 	ref, _ := EL(g, Options{})
-	for _, engine := range []SortEngine{SortSampleSort, SortParallelMerge, SortRadix} {
+	for _, engine := range SortEngines() {
 		for _, p := range []int{1, 3, 8} {
 			f, _ := EL(g, Options{SortEngine: engine, Workers: p, Seed: 9})
 			if f.Weight != ref.Weight || f.Size() != ref.Size() {

@@ -1,9 +1,7 @@
 package boruvka
 
 import (
-	"pmsf/internal/cc"
 	"pmsf/internal/graph"
-	"pmsf/internal/par"
 	"pmsf/internal/sorts"
 )
 
@@ -33,21 +31,13 @@ var DefaultBucketMaxes = []int{1, 10, 100, 1000, 10000}
 // records, for every iteration, the distribution of adjacency-list
 // lengths going into the per-list sorts.
 func ProfileListLengths(g *graph.EdgeList, opt Options) []ListLengthHistogram {
-	p := opt.workers()
-	cutoff := opt.cutoff()
-	mem := newALMem(false, p)
-
-	adj := graph.BuildAdj(g)
-	st := &alState{n: adj.N, off: adj.Off, arcs: adj.Arcs}
-	st.deg = make([]int32, adj.N)
-	for v := 0; v < adj.N; v++ {
-		st.deg[v] = int32(adj.Off[v+1] - adj.Off[v])
-	}
+	r := newALRun(g, opt, false, "Bor-AL")
+	defer r.ws.Close()
 
 	var out []ListLengthHistogram
 	iter := 0
 	for {
-		if st.totalArcs(p) == 0 {
+		if r.totalArcs() == 0 {
 			break
 		}
 		// Record this iteration's list-length histogram.
@@ -56,8 +46,8 @@ func ProfileListLengths(g *graph.EdgeList, opt Options) []ListLengthHistogram {
 			h.UpTo = append(h.UpTo, Bucket{Max: max})
 		}
 		h.UpTo = append(h.UpTo, Bucket{Max: -1})
-		for v := 0; v < st.n; v++ {
-			d := int(st.deg[v])
+		for v := 0; v < r.st.n; v++ {
+			d := int(r.st.deg[v])
 			if d == 0 {
 				continue
 			}
@@ -77,30 +67,10 @@ func ProfileListLengths(g *graph.EdgeList, opt Options) []ListLengthHistogram {
 		out = append(out, h)
 
 		// One Bor-AL iteration (find-min + CC + compact).
-		parent := make([]int32, st.n)
-		sel := make([]int32, st.n)
-		par.ForDynamic(p, st.n, 512, func(_, lo, hi int) {
-			for v := lo; v < hi; v++ {
-				list := st.adj(int32(v))
-				if len(list) == 0 {
-					parent[v] = int32(v)
-					continue
-				}
-				best := 0
-				for i := 1; i < len(list); i++ {
-					if list[i].W < list[best].W ||
-						(list[i].W == list[best].W && list[i].EID < list[best].EID) {
-						best = i
-					}
-				}
-				parent[v] = list[best].To
-				sel[v] = list[best].EID
-			}
-		})
-		labels, k := cc.Resolve(p, parent)
-		st = compactAL(p, cutoff, st, labels, k, mem)
+		r.round()
 		iter++
 	}
+	r.root.End()
 	return out
 }
 

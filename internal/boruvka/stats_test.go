@@ -207,7 +207,7 @@ func TestCompactWorkListProperties(t *testing.T) {
 func TestSortEngineInvariance(t *testing.T) {
 	g := gen.Random(3000, 30000, 13)
 	ref, _ := EL(g, Options{SortEngine: SortSampleSort})
-	for _, engine := range []SortEngine{SortParallelMerge, SortRadix} {
+	for _, engine := range []SortEngine{SortParallelRadix, SortParallelMerge, SortRadix} {
 		alt, _ := EL(g, Options{SortEngine: engine, Workers: 4})
 		if ref.Weight != alt.Weight || ref.Size() != alt.Size() {
 			t.Fatalf("%v changed the result", engine)

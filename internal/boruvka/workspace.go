@@ -1,0 +1,122 @@
+package boruvka
+
+import (
+	"pmsf/internal/cc"
+	"pmsf/internal/obs"
+	"pmsf/internal/par"
+	"pmsf/internal/sorts"
+)
+
+// Workspace is the reusable round state shared by the team-based Borůvka
+// loops: the persistent worker team, the team-based connect-components
+// resolver and counting grouper, the chosen-neighbor and selected-edge
+// arrays, the growing forest-edge list, and the per-worker counters of
+// the harvest step. Everything is allocated once per run, sized for the
+// first (largest) round, and reused until the forest is done — the
+// steady-state rounds of Bor-EL, Bor-ALM and Bor-FAL perform zero heap
+// allocations on top of it.
+type Workspace struct {
+	p    int
+	team *par.Team
+	res  *cc.Resolver
+	grp  *sorts.Grouper
+
+	parent []int32
+	sel    []int32
+
+	ids    []int32 // forest edge ids accumulated across rounds
+	idsLen int
+
+	wcount []int64 // per-worker picked counts / scatter offsets
+
+	n                  int // harvest range, set per call
+	harvestCountBody   func(int)
+	harvestScatterBody func(int)
+}
+
+// newWorkspace builds a workspace for a run over n0 original vertices
+// with p workers. Close releases the team.
+func newWorkspace(p, n0 int) *Workspace {
+	ws := &Workspace{
+		p:      p,
+		team:   par.NewTeam(p),
+		parent: make([]int32, n0),
+		sel:    make([]int32, n0),
+		ids:    make([]int32, n0), // a forest has at most n0-1 edges
+		wcount: make([]int64, p),
+	}
+	ws.res = cc.NewResolver(p, ws.team)
+	ws.grp = sorts.NewGrouper(p, ws.team)
+	ws.harvestCountBody = ws.harvestCountWork
+	ws.harvestScatterBody = ws.harvestScatterWork
+	return ws
+}
+
+// Close shuts the worker team down.
+func (ws *Workspace) Close() { ws.team.Close() }
+
+// forestIDs returns the accumulated forest edge ids.
+func (ws *Workspace) forestIDs() []int32 { return ws.ids[:ws.idsLen] }
+
+// harvest appends the edge selected by each supervertex in [0, n) that
+// found an outgoing minimum edge, deduplicating mutual pairs exactly
+// like the package-level harvest, but out of the reused ids buffer: a
+// per-worker count, an exclusive scan, and a scatter of sel values.
+// parent must be the raw chosen-neighbor array BEFORE resolve.
+func (ws *Workspace) harvest(n int) {
+	ws.n = n
+	ws.team.Run(ws.harvestCountBody)
+	total := int64(ws.idsLen)
+	for w := 0; w < ws.p; w++ {
+		v := ws.wcount[w]
+		ws.wcount[w] = total
+		total += v
+	}
+	ws.team.Run(ws.harvestScatterBody)
+	ws.idsLen = int(total)
+}
+
+// picked reports whether supervertex v owns its selected edge this
+// round: it chose a neighbor, and in the mutual-pair case the smaller
+// endpoint owns the shared edge.
+func picked(parent []int32, v int) bool {
+	pv := parent[v]
+	if int(pv) == v {
+		return false
+	}
+	return int(parent[pv]) != v || int(pv) >= v
+}
+
+func (ws *Workspace) harvestCountWork(w int) {
+	lo, hi := par.Block(ws.n, ws.p, w)
+	parent := ws.parent
+	var c int64
+	for v := lo; v < hi; v++ {
+		if picked(parent, v) {
+			c++
+		}
+	}
+	ws.wcount[w] = c
+}
+
+func (ws *Workspace) harvestScatterWork(w int) {
+	lo, hi := par.Block(ws.n, ws.p, w)
+	parent, sel, ids := ws.parent, ws.sel, ws.ids
+	pos := ws.wcount[w]
+	for v := lo; v < hi; v++ {
+		if picked(parent, v) {
+			ids[pos] = sel[v]
+			pos++
+		}
+	}
+}
+
+// labeled runs fn under the collector's pprof phase label when tracing
+// is live, and calls it directly (no closure, no allocation) otherwise.
+func labeled(c *obs.Collector, algo, phase string, fn func()) {
+	if c != nil {
+		c.Labeled(algo, phase, fn)
+		return
+	}
+	fn()
+}

@@ -198,6 +198,13 @@ var (
 	ParPhases = Default().Counter("par_phases")
 	// ParChunks counts dynamically scheduled chunks claimed by ForDynamic.
 	ParChunks = Default().Counter("par_chunks")
+	// RadixPasses counts counting-sort passes executed by the packed-key
+	// parallel radix compaction kernel.
+	RadixPasses = Default().Counter("radix_passes")
+	// WorkspaceReused counts bytes served from reusable round workspaces
+	// (double-buffered edge arrays, keepIdx/starts/histogram slabs)
+	// instead of fresh heap allocations.
+	WorkspaceReused = Default().Counter("workspace_reused_bytes")
 )
 
 var publishOnce sync.Once

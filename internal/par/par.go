@@ -44,6 +44,24 @@ type Range struct {
 // Len returns the number of indices in the range.
 func (r Range) Len() int { return r.Hi - r.Lo }
 
+// Block returns the w-th of p nearly equal contiguous ranges of [0, n)
+// without allocating: Block(n, p, w) equals Split(n, p)[w]. Phase bodies
+// that run on a persistent Team use it to compute their own range, which
+// keeps the steady-state loop free of the []Range allocation Split
+// performs.
+func Block(n, p, w int) (lo, hi int) {
+	base := n / p
+	extra := n % p
+	lo = w * base
+	if w < extra {
+		lo += w
+		hi = lo + base + 1
+		return lo, hi
+	}
+	lo += extra
+	return lo, lo + base
+}
+
 // Split partitions [0, n) into p nearly equal contiguous ranges. The first
 // n%p ranges receive one extra element. Empty ranges are possible when
 // p > n.

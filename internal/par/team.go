@@ -1,6 +1,11 @@
 package par
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+
+	"pmsf/internal/obs"
+)
 
 // Team is a persistent SPMD worker group: p goroutines created once and
 // reused across many phases, mirroring the paper's SIMPLE runtime (POSIX
@@ -19,12 +24,26 @@ import "sync"
 // Run blocks until every worker has finished the phase (an implicit
 // barrier). Nested Run calls from inside a phase deadlock by
 // construction; use the plain Do/For primitives for nested parallelism.
+//
+// A phase body that is created once and reused (a method value stored at
+// setup) makes Run and ForDynamic allocation-free, which is what the
+// Borůvka steady-state loops rely on for their zero-allocs-per-round
+// contract.
 type Team struct {
 	p       int
 	work    []chan func(int)
 	done    chan struct{}
 	closing bool
 	mu      sync.Mutex
+
+	// ForDynamic state: the prebound dynWork wrapper reads these, so a
+	// ForDynamic call allocates nothing beyond what its body does.
+	dynNext   atomic.Int64
+	dynChunks atomic.Int64
+	dynN      int
+	dynGrain  int
+	dynBody   func(worker, lo, hi int)
+	dynRun    func(int)
 }
 
 // NewTeam starts a team of p persistent workers. p must be >= 1.
@@ -37,6 +56,7 @@ func NewTeam(p int) *Team {
 		work: make([]chan func(int), p),
 		done: make(chan struct{}, p),
 	}
+	t.dynRun = t.dynWork
 	for w := 1; w < p; w++ {
 		t.work[w] = make(chan func(int))
 		go func(w int) {
@@ -53,7 +73,8 @@ func NewTeam(p int) *Team {
 func (t *Team) P() int { return t.p }
 
 // Run executes body(w) for w in [0, p) — worker 0 on the calling
-// goroutine — and waits for all of them.
+// goroutine — and waits for all of them. Run panics if the team has been
+// closed; the workers are gone, so no body could ever execute.
 func (t *Team) Run(body func(worker int)) {
 	t.mu.Lock()
 	if t.closing {
@@ -61,6 +82,9 @@ func (t *Team) Run(body func(worker int)) {
 		panic("par: Run on closed team")
 	}
 	t.mu.Unlock()
+	if obs.MetricsOn() {
+		obs.ParPhases.Add(1)
+	}
 	for w := 1; w < t.p; w++ {
 		t.work[w] <- body
 	}
@@ -76,6 +100,47 @@ func (t *Team) For(n int, body func(worker, lo, hi int)) {
 	t.Run(func(w int) {
 		body(w, ranges[w].Lo, ranges[w].Hi)
 	})
+}
+
+// ForDynamic runs body over [0, n) with the team's workers pulling
+// grain-sized chunks from a shared atomic counter — the Team counterpart
+// of the package-level ForDynamic, with the same chunk metrics. Use it
+// when per-index cost is irregular (per-vertex adjacency lists, skewed
+// duplicate runs). body must not call back into the team.
+func (t *Team) ForDynamic(n, grain int, body func(worker, lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	t.dynN, t.dynGrain, t.dynBody = n, grain, body
+	t.dynNext.Store(0)
+	t.dynChunks.Store(0)
+	t.Run(t.dynRun)
+	t.dynBody = nil
+	if obs.MetricsOn() {
+		obs.ParChunks.Add(t.dynChunks.Load())
+	}
+}
+
+// dynWork is the persistent per-worker chunk-claim loop behind
+// ForDynamic; it is bound once in NewTeam so ForDynamic never creates a
+// closure.
+func (t *Team) dynWork(w int) {
+	n, grain := t.dynN, t.dynGrain
+	metrics := obs.MetricsOn()
+	for {
+		lo := int(t.dynNext.Add(int64(grain))) - grain
+		if lo >= n {
+			return
+		}
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		if metrics {
+			t.dynChunks.Add(1)
+		}
+		t.dynBody(w, lo, hi)
+	}
 }
 
 // Close shuts the workers down. The team must not be used afterwards.

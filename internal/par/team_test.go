@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"pmsf/internal/obs"
 )
 
 func TestTeamRunAllWorkers(t *testing.T) {
@@ -111,4 +113,108 @@ func TestTeamNoGoroutineLeak(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestTeamForDynamicCoversAll(t *testing.T) {
+	for _, p := range []int{1, 2, 8} {
+		team := NewTeam(p)
+		for _, tc := range []struct{ n, grain int }{
+			{0, 16}, {1, 16}, {17, 16}, {1000, 1}, {1000, 7}, {1000, 4096}, {5, 0},
+		} {
+			hits := make([]int32, tc.n)
+			team.ForDynamic(tc.n, tc.grain, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("p=%d n=%d grain=%d: index %d hit %d times", p, tc.n, tc.grain, i, h)
+				}
+			}
+		}
+		team.Close()
+	}
+}
+
+func TestTeamForDynamicIrregular(t *testing.T) {
+	// Skewed per-index cost: dynamic chunking must still cover every
+	// index exactly once and use more than one worker's chunks.
+	team := NewTeam(4)
+	defer team.Close()
+	const n = 400
+	var sum atomic.Int64
+	workers := make([]int32, 4)
+	team.ForDynamic(n, 8, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			// index 0 is 400x the cost of the rest
+			spin := 1
+			if i == 0 {
+				spin = 400
+			}
+			for s := 0; s < spin; s++ {
+				sum.Add(1)
+			}
+		}
+		atomic.AddInt32(&workers[w], 1)
+	})
+	if got := sum.Load(); got != n-1+400 {
+		t.Fatalf("sum %d, want %d", got, n-1+400)
+	}
+}
+
+// Every entry point must refuse a closed team from the caller's
+// goroutine — the workers are gone, so no body could ever run.
+func TestTeamAfterClosePanicsEveryPath(t *testing.T) {
+	paths := map[string]func(*Team){
+		"Run":        func(tm *Team) { tm.Run(func(int) {}) },
+		"For":        func(tm *Team) { tm.For(10, func(_, _, _ int) {}) },
+		"ForDynamic": func(tm *Team) { tm.ForDynamic(10, 2, func(_, _, _ int) {}) },
+	}
+	for name, call := range paths {
+		for _, p := range []int{1, 3} {
+			team := NewTeam(p)
+			team.Close()
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Fatalf("%s (p=%d) after Close did not panic", name, p)
+					}
+				}()
+				call(team)
+			}()
+		}
+	}
+}
+
+func TestTeamForDynamicChunkMetrics(t *testing.T) {
+	team := NewTeam(3)
+	defer team.Close()
+	obs.EnableMetrics(true)
+	defer obs.EnableMetrics(false)
+	phases0, chunks0 := obs.ParPhases.Value(), obs.ParChunks.Value()
+	const n, grain = 1000, 64
+	team.ForDynamic(n, grain, func(_, _, _ int) {})
+	if got := obs.ParPhases.Value() - phases0; got != 1 {
+		t.Fatalf("phases counted %d, want 1", got)
+	}
+	want := int64((n + grain - 1) / grain)
+	if got := obs.ParChunks.Value() - chunks0; got != want {
+		t.Fatalf("chunks counted %d, want %d", got, want)
+	}
+}
+
+func TestTeamForDynamicZeroAlloc(t *testing.T) {
+	// The prebound chunk-claim loop must keep ForDynamic itself off the
+	// heap when the body is a reused value.
+	team := NewTeam(2)
+	defer team.Close()
+	body := func(_, _, _ int) {}
+	team.ForDynamic(100, 8, body) // warm up
+	allocs := testing.AllocsPerRun(50, func() {
+		team.ForDynamic(100, 8, body)
+	})
+	if allocs != 0 {
+		t.Fatalf("ForDynamic allocated %.1f objects per call, want 0", allocs)
+	}
 }

@@ -1,0 +1,296 @@
+package sorts
+
+// The packed-key parallel radix compactor is the engine behind the
+// default Bor-EL compact-graph step. The paper's formulation sorts the
+// working edge list by the full (U, V, W, ID) key and keeps the head of
+// every duplicate run; profiling shows that sort dominating every
+// iteration. Two observations shrink it:
+//
+//  1. Only (U, V) needs to be SORTED. The weight and the id merely pick
+//     the representative of each duplicate run, so a per-run (W, ID)
+//     min-reduction replaces six of the ten radix passes outright.
+//  2. Both endpoints are supervertex ids below the current supervertex
+//     count n, so (U, V) packs into a single uint64 of 2·ceil(log2 n)
+//     significant bits. The digit width is chosen from that bit count:
+//     early rounds of a 1M-vertex graph need 3 passes, and late rounds
+//     (n ≤ 256) need exactly 1 — against the fixed 10 passes of
+//     RadixSortWEdges and the n·log n comparisons of the sample sort.
+//
+// Every pass runs as a per-worker-histogram counting sort on a
+// persistent par.Team, and all state lives in buffers the caller
+// (boruvka.Workspace) reuses across rounds, so the steady-state
+// iteration performs zero heap allocations.
+
+import (
+	"math/bits"
+
+	"pmsf/internal/graph"
+	"pmsf/internal/obs"
+	"pmsf/internal/par"
+)
+
+// maxDigitBits caps the radix digit width; the histogram slab holds
+// p << maxDigitBits counters.
+const maxDigitBits = 16
+
+// PackWidth returns the bit width b such that every vertex id in [0, n)
+// fits in b bits (at least 1). The packed (U, V) key is U<<b | V, a
+// 2b-bit integer whose unsigned order is the lexicographic (U, V) order.
+func PackWidth(n int) uint {
+	if n < 2 {
+		return 1
+	}
+	return uint(bits.Len32(uint32(n - 1)))
+}
+
+// RadixPlan returns the pass count and uniform digit width the compactor
+// uses for supervertex count n: passes = ceil(2b/16) and digitBits =
+// ceil(2b/passes), which balances the digits (e.g. 2b=40 gives three
+// 14-bit passes instead of two 16-bit and one 8-bit).
+func RadixPlan(n int) (passes int, digitBits uint) {
+	total := 2 * PackWidth(n)
+	passes = int((total + maxDigitBits - 1) / maxDigitBits)
+	digitBits = (total + uint(passes) - 1) / uint(passes)
+	return passes, digitBits
+}
+
+// Compactor is the reusable parallel packed-key radix compaction engine.
+// Create one per run with NewCompactor and call Compact once per Borůvka
+// round; the per-worker histogram slab and the prebound phase bodies are
+// allocated once, so steady-state calls allocate nothing.
+//
+// A Compactor is owned by a single goroutine; the parallelism comes from
+// the team it runs its phases on.
+type Compactor struct {
+	p    int
+	team *par.Team
+
+	hist   []int32 // per-worker histograms, worker-major, p << digitBits in use
+	wcount []int64 // per-worker counts / exclusive offsets for the head pack
+
+	// Per-call state read by the prebound worker bodies.
+	src, dst  []graph.WEdge
+	m         int
+	width     uint
+	shift     uint
+	digitBits uint
+	mask      uint64
+	keepIdx   []int32
+	kept      int
+	out       []graph.WEdge
+	starts    []int64
+	n         int
+
+	countBody       func(int)
+	scatterBody     func(int)
+	headCountBody   func(int)
+	headScatterBody func(int)
+	reduceBody      func(worker, lo, hi int)
+	startsClearBody func(int)
+	startsMarkBody  func(int)
+
+	// Passes and LastDigitBits describe the most recent Compact call
+	// (recorded as span attributes by the caller).
+	Passes        int
+	LastDigitBits uint
+}
+
+// NewCompactor returns a compactor running its phases on team (whose
+// size must be p).
+func NewCompactor(p int, team *par.Team) *Compactor {
+	c := &Compactor{
+		p:      p,
+		team:   team,
+		hist:   make([]int32, p<<maxDigitBits),
+		wcount: make([]int64, p),
+	}
+	c.countBody = c.countWork
+	c.scatterBody = c.scatterWork
+	c.headCountBody = c.headCountWork
+	c.headScatterBody = c.headScatterWork
+	c.reduceBody = c.reduceWork
+	c.startsClearBody = c.startsClearWork
+	c.startsMarkBody = c.startsMarkWork
+	return c
+}
+
+// Compact sorts edges by the packed (U, V) key, drops self-loops,
+// reduces every duplicate (U, V) run to its minimum-(W, ID) edge, and
+// fills starts (length n+1) with the per-vertex segment boundaries. It
+// returns the compacted list and the buffer to pass as spare next round
+// (the two ping-pong across calls).
+//
+// Requirements: cap(spare) >= len(edges), len(keepIdx) >= len(edges),
+// len(starts) == n+1, and every endpoint in [0, n).
+func (c *Compactor) Compact(edges, spare []graph.WEdge, n int, keepIdx []int32, starts []int64) (out, newSpare []graph.WEdge) {
+	m := len(edges)
+	c.m, c.n, c.starts, c.keepIdx = m, n, starts, keepIdx
+	c.width = PackWidth(n)
+	passes, digitBits := RadixPlan(n)
+	c.digitBits = digitBits
+	c.mask = uint64(1)<<digitBits - 1
+	c.Passes, c.LastDigitBits = passes, digitBits
+	if m == 0 {
+		for i := range starts {
+			starts[i] = 0
+		}
+		return edges, spare
+	}
+
+	src, dst := edges, spare[:m]
+	nd := 1 << digitBits
+	for pass := 0; pass < passes; pass++ {
+		c.shift = uint(pass) * digitBits
+		c.src, c.dst = src, dst
+		c.team.Run(c.countBody)
+		// Offsets: digit-major exclusive scan over (digit, worker), so
+		// workers scatter their contiguous blocks in order — a stable pass.
+		var sum int32
+		for d := 0; d < nd; d++ {
+			for w := 0; w < c.p; w++ {
+				i := w<<digitBits + d
+				v := c.hist[i]
+				c.hist[i] = sum
+				sum += v
+			}
+		}
+		c.team.Run(c.scatterBody)
+		src, dst = dst, src
+	}
+
+	// src is sorted by (U, V); pack the heads of the non-self-loop runs.
+	c.src = src
+	c.team.Run(c.headCountBody)
+	var total int64
+	for w := 0; w < c.p; w++ {
+		v := c.wcount[w]
+		c.wcount[w] = total
+		total += v
+	}
+	c.kept = int(total)
+	c.team.Run(c.headScatterBody)
+
+	// Min-reduce each run into the spare buffer.
+	c.out = dst[:c.kept]
+	c.team.ForDynamic(c.kept, 256, c.reduceBody)
+
+	// Segment starts: first occurrence of each U, then backward fill.
+	c.team.Run(c.startsClearBody)
+	starts[n] = total
+	c.team.Run(c.startsMarkBody)
+	for v := n - 1; v >= 0; v-- {
+		if starts[v] < 0 {
+			starts[v] = starts[v+1]
+		}
+	}
+
+	if obs.MetricsOn() {
+		obs.RadixPasses.Add(int64(passes))
+		obs.SortElements.Add(int64(m))
+		// Bytes that the sort-allocating engines would have taken fresh
+		// from the heap: both edge buffers, the keep indices, the starts.
+		const wedgeBytes = 24
+		obs.WorkspaceReused.Add(int64(m)*2*wedgeBytes + int64(m)*4 + int64(n+1)*8)
+	}
+	return c.out, src
+}
+
+// packedKey builds the 2·width-bit sort key of a working edge.
+func packedKey(e graph.WEdge, width uint) uint64 {
+	return uint64(uint32(e.U))<<width | uint64(uint32(e.V))
+}
+
+func (c *Compactor) countWork(w int) {
+	lo, hi := par.Block(c.m, c.p, w)
+	h := c.hist[w<<c.digitBits : (w+1)<<c.digitBits]
+	for i := range h {
+		h[i] = 0
+	}
+	width, shift, mask := c.width, c.shift, c.mask
+	src := c.src
+	for i := lo; i < hi; i++ {
+		h[(packedKey(src[i], width)>>shift)&mask]++
+	}
+}
+
+func (c *Compactor) scatterWork(w int) {
+	lo, hi := par.Block(c.m, c.p, w)
+	h := c.hist[w<<c.digitBits : (w+1)<<c.digitBits]
+	width, shift, mask := c.width, c.shift, c.mask
+	src, dst := c.src, c.dst
+	for i := lo; i < hi; i++ {
+		e := src[i]
+		d := (packedKey(e, width) >> shift) & mask
+		dst[h[d]] = e
+		h[d]++
+	}
+}
+
+func (c *Compactor) headCountWork(w int) {
+	lo, hi := par.Block(c.m, c.p, w)
+	src := c.src
+	var cnt int64
+	for i := lo; i < hi; i++ {
+		e := src[i]
+		if e.U == e.V {
+			continue
+		}
+		if i == 0 || src[i-1].U != e.U || src[i-1].V != e.V {
+			cnt++
+		}
+	}
+	c.wcount[w] = cnt
+}
+
+func (c *Compactor) headScatterWork(w int) {
+	lo, hi := par.Block(c.m, c.p, w)
+	src, keep := c.src, c.keepIdx
+	pos := c.wcount[w]
+	for i := lo; i < hi; i++ {
+		e := src[i]
+		if e.U == e.V {
+			continue
+		}
+		if i == 0 || src[i-1].U != e.U || src[i-1].V != e.V {
+			keep[pos] = int32(i)
+			pos++
+		}
+	}
+}
+
+func (c *Compactor) reduceWork(_, lo, hi int) {
+	src, out, keep := c.src, c.out, c.keepIdx
+	m := c.m
+	for j := lo; j < hi; j++ {
+		s := int(keep[j])
+		e := src[s]
+		for i := s + 1; i < m; i++ {
+			x := src[i]
+			if x.U != e.U || x.V != e.V {
+				break
+			}
+			if x.W < e.W || (x.W == e.W && x.ID < e.ID) {
+				e = x
+			}
+		}
+		out[j] = e
+	}
+}
+
+func (c *Compactor) startsClearWork(w int) {
+	lo, hi := par.Block(c.n, c.p, w)
+	starts := c.starts
+	for v := lo; v < hi; v++ {
+		starts[v] = -1
+	}
+}
+
+func (c *Compactor) startsMarkWork(w int) {
+	lo, hi := par.Block(c.kept, c.p, w)
+	out, starts := c.out, c.starts
+	for i := lo; i < hi; i++ {
+		if i == 0 || out[i-1].U != out[i].U {
+			starts[out[i].U] = int64(i)
+		}
+	}
+}

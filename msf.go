@@ -167,6 +167,36 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 	return 0, fmt.Errorf("pmsf: unknown algorithm %q", name)
 }
 
+// SortEngine selects Bor-EL's compact-graph engine.
+type SortEngine = boruvka.SortEngine
+
+const (
+	// SortParallelRadix is the packed-key parallel radix compactor — the
+	// default: (U, V) packed into one uint64, per-worker histogram
+	// counting-sort passes with the digit width derived from the current
+	// supervertex count, and a per-run (W, ID) min-reduction.
+	SortParallelRadix = boruvka.SortParallelRadix
+	// SortSampleSort is the paper's Helman-JáJá parallel sample sort.
+	SortSampleSort = boruvka.SortSampleSort
+	// SortParallelMerge is pairwise parallel merge sort.
+	SortParallelMerge = boruvka.SortParallelMerge
+	// SortRadix is the sequential ten-pass full-key LSD radix sort.
+	SortRadix = boruvka.SortRadix
+)
+
+// SortEngines lists every Bor-EL compact-graph engine in a stable order.
+func SortEngines() []SortEngine { return boruvka.SortEngines() }
+
+// ParseSortEngine resolves an engine name as printed by its String
+// method ("parallel-radix", "sample-sort", "parallel-merge", "radix").
+func ParseSortEngine(name string) (SortEngine, error) {
+	e, ok := boruvka.ParseSortEngine(name)
+	if !ok {
+		return 0, fmt.Errorf("pmsf: unknown sort engine %q", name)
+	}
+	return e, nil
+}
+
 func stripDash(s string) string {
 	return strings.ReplaceAll(s, "-", "")
 }
@@ -194,6 +224,9 @@ type Options struct {
 	// Metrics enables the process-wide counters (see Metrics()) for the
 	// duration of the run.
 	Metrics bool
+	// SortEngine selects Bor-EL's compact-graph engine; the zero value is
+	// the packed-key parallel radix compactor. Other algorithms ignore it.
+	SortEngine SortEngine
 }
 
 // Stats carries optional instrumentation; at most one field is non-nil,
@@ -219,7 +252,10 @@ func MinimumSpanningForest(g *Graph, algo Algorithm, opt Options) (*Forest, *Sta
 		obs.EnableMetrics(true)
 		defer obs.EnableMetrics(false)
 	}
-	bopt := boruvka.Options{Workers: opt.Workers, Stats: opt.CollectStats, Seed: opt.Seed, Trace: opt.Trace}
+	bopt := boruvka.Options{
+		Workers: opt.Workers, Stats: opt.CollectStats, Seed: opt.Seed,
+		Trace: opt.Trace, SortEngine: opt.SortEngine,
+	}
 	switch algo {
 	case BorEL:
 		f, s := boruvka.EL(g, bopt)
