@@ -1,20 +1,27 @@
-// Command benchguard is the warn-only perf guard for the compact-graph
-// kernel: it re-runs the engine study and compares it against the
-// committed baseline (results/BENCH_PR2.json).
+// Command benchguard is the perf guard for the compact-graph kernel: it
+// re-runs the engine study and compares it against the committed
+// baseline (results/BENCH_PR2.json).
 //
 // The primary signal is dimensionless and therefore machine- and
 // scale-independent: the speedup of the packed-key parallel radix
-// compactor over the sample-sort baseline at each (workload, p). If a
-// change erodes that ratio beyond the threshold, the guard prints a
-// WARN line; it never fails the build (perf is guarded, not gated —
-// CI machines are too noisy for a hard gate). When the fresh run uses
-// the same scale as the baseline, absolute ns/op drifts are also
-// reported.
+// compactor over the sample-sort baseline at each (workload, p). The
+// guard has two tiers:
+//
+//   - a ratio degraded beyond -threshold (default 1.3x) prints a WARN
+//     line — CI machines are noisy, so moderate drift is reported but
+//     does not gate;
+//   - a ratio degraded beyond -fail (default 2.0x) is a hard
+//     regression no amount of scheduler noise explains, and benchguard
+//     exits 1 so CI fails.
+//
+// When the fresh run uses the same scale as the baseline, absolute
+// ns/op drifts are compared with the same two tiers. The fresh report
+// can be written with -out for archival (the CI bench artifact).
 //
 // Usage:
 //
 //	benchguard [-baseline results/BENCH_PR2.json] [-scale small]
-//	           [-threshold 1.3]
+//	           [-threshold 1.3] [-fail 2.0] [-out fresh.json]
 package main
 
 import (
@@ -31,6 +38,8 @@ func main() {
 	baselinePath := flag.String("baseline", "results/BENCH_PR2.json", "committed baseline report")
 	scaleFlag := flag.String("scale", "small", "scale for the fresh run: small, medium or paper")
 	threshold := flag.Float64("threshold", 1.3, "warn when a ratio degrades by more than this factor")
+	failAt := flag.Float64("fail", 2.0, "exit 1 when a ratio degrades by more than this factor")
+	outPath := flag.String("out", "", "write the fresh report as JSON to this path")
 	flag.Parse()
 
 	base, err := loadBaseline(*baselinePath)
@@ -44,21 +53,32 @@ func main() {
 	fresh := bench.CompactBench(bench.Config{
 		Scale: scale, Seed: base.Seed, Workers: workerSet(base),
 	})
+	if *outPath != "" {
+		if err := writeReport(*outPath, fresh); err != nil {
+			fatal(err)
+		}
+	}
 
-	warns := 0
-	warns += compareSpeedups(base, fresh, *threshold)
+	warns, fails := 0, 0
+	w, f := compareSpeedups(base, fresh, *threshold, *failAt)
+	warns, fails = warns+w, fails+f
 	if fresh.Scale == base.Scale {
-		warns += compareAbsolute(base, fresh, *threshold)
+		w, f = compareAbsolute(base, fresh, *threshold, *failAt)
+		warns, fails = warns+w, fails+f
 	} else {
 		fmt.Printf("note: fresh run at scale %s, baseline at %s; absolute ns/op not compared\n",
 			fresh.Scale, base.Scale)
 	}
-	if warns == 0 {
-		fmt.Println("benchguard: no regressions beyond threshold")
-	} else {
+	switch {
+	case fails > 0:
+		fmt.Printf("benchguard: %d hard regression(s) beyond %.1fx (and %d warning(s))\n",
+			fails, *failAt, warns)
+		os.Exit(1)
+	case warns > 0:
 		fmt.Printf("benchguard: %d warning(s) — investigate before trusting the perf numbers\n", warns)
+	default:
+		fmt.Println("benchguard: no regressions beyond threshold")
 	}
-	// Warn-only by design: always exit 0 once both runs completed.
 }
 
 func loadBaseline(path string) (*bench.CompactBenchReport, error) {
@@ -74,6 +94,14 @@ func loadBaseline(path string) (*bench.CompactBenchReport, error) {
 		return nil, fmt.Errorf("baseline %s has no entries", path)
 	}
 	return &rep, nil
+}
+
+func writeReport(path string, rep *bench.CompactBenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // workerSet extracts the distinct worker counts the baseline measured.
@@ -106,11 +134,10 @@ func index(rep *bench.CompactBenchReport) map[key]int64 {
 }
 
 // compareSpeedups checks the candidate-over-baseline-engine speedup at
-// each (workload, p) in both reports and warns when the fresh ratio has
-// degraded by more than the threshold factor.
-func compareSpeedups(base, fresh *bench.CompactBenchReport, threshold float64) int {
+// each (workload, p) in both reports: degradation beyond warnAt warns,
+// beyond failAt fails.
+func compareSpeedups(base, fresh *bench.CompactBenchReport, warnAt, failAt float64) (warns, fails int) {
 	bi, fi := index(base), index(fresh)
-	warns := 0
 	fmt.Printf("speedup of %s over %s (baseline vs fresh):\n", base.Candidate, base.Baseline)
 	for _, e := range base.Entries {
 		if e.Engine != base.Candidate {
@@ -126,19 +153,22 @@ func compareSpeedups(base, fresh *bench.CompactBenchReport, threshold float64) i
 		bs := float64(bref) / float64(e.NsPerOp)
 		fs := float64(fref) / float64(fcand)
 		line := fmt.Sprintf("  %-14s p=%-2d  %.2fx -> %.2fx", e.Workload, e.Workers, bs, fs)
-		if fs*threshold < bs || fs < 1.0 {
+		switch {
+		case fs*failAt < bs:
+			line += "   FAIL: speedup degraded beyond the hard limit"
+			fails++
+		case fs*warnAt < bs || fs < 1.0:
 			line += "   WARN: speedup degraded"
 			warns++
 		}
 		fmt.Println(line)
 	}
-	return warns
+	return warns, fails
 }
 
 // compareAbsolute reports per-entry ns/op drift when the scales match.
-func compareAbsolute(base, fresh *bench.CompactBenchReport, threshold float64) int {
+func compareAbsolute(base, fresh *bench.CompactBenchReport, warnAt, failAt float64) (warns, fails int) {
 	fi := index(fresh)
-	warns := 0
 	fmt.Println("absolute ns/op (baseline vs fresh, same scale):")
 	for _, e := range base.Entries {
 		f, ok := fi[key{e.Engine, e.Workers, e.Workload}]
@@ -148,13 +178,17 @@ func compareAbsolute(base, fresh *bench.CompactBenchReport, threshold float64) i
 		ratio := float64(f) / float64(e.NsPerOp)
 		line := fmt.Sprintf("  %-14s %-14s p=%-2d  %12d -> %12d  (%+.1f%%)",
 			e.Workload, e.Engine, e.Workers, e.NsPerOp, f, (ratio-1)*100)
-		if ratio > threshold {
+		switch {
+		case ratio > failAt:
+			line += "   FAIL: slower than baseline beyond the hard limit"
+			fails++
+		case ratio > warnAt:
 			line += "   WARN: slower than baseline"
 			warns++
 		}
 		fmt.Println(line)
 	}
-	return warns
+	return warns, fails
 }
 
 func fatal(err error) {

@@ -1,0 +1,129 @@
+// Command msf-lint runs the repo's static-analysis suite — the
+// invariants the compiler cannot check: atomic access disciplines,
+// zero-alloc round loops, Team lifecycles, span pairing, arena escape.
+//
+// Standalone (the supported CI entry point):
+//
+//	msf-lint ./...
+//	msf-lint -only noalloc,atomicslice ./internal/boruvka
+//	msf-lint -list
+//
+// It also speaks the `go vet -vettool` unitchecker protocol, so
+//
+//	go vet -vettool=$(which msf-lint) ./...
+//
+// works from an ordinary go toolchain: when invoked with a single
+// *.cfg argument it type-checks the one package described by the
+// config against the export data the go command already built and
+// reports diagnostics on stderr.
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pmsf/internal/analysis"
+	"pmsf/internal/analysis/checker"
+	"pmsf/internal/analysis/load"
+	"pmsf/internal/analysis/suite"
+)
+
+func main() {
+	// go vet probes its vettool with -V=full before anything else (the
+	// reply doubles as the tool's cache key), then with -flags for the
+	// JSON list of analyzer flags the driver may forward. The suite
+	// exposes none to the driver, so the list is empty.
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		fmt.Printf("msf-lint version 1 msf-lint-suite-v1\n")
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	disable := flag.String("disable", "", "comma-separated analyzer names to skip")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: msf-lint [flags] packages...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers, err := selectAnalyzers(*only, *disable)
+	if err != nil {
+		fatal(err)
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Unitchecker mode: a single *.cfg argument from the go vet driver.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0], analyzers))
+	}
+
+	pkgs, err := load.Load("", args...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := checker.Run(pkgs, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	if checker.Print(os.Stderr, diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(only, disable string) ([]*analysis.Analyzer, error) {
+	analyzers := suite.All()
+	if only != "" {
+		var picked []*analysis.Analyzer
+		for _, name := range strings.Split(only, ",") {
+			a := suite.ByName(strings.TrimSpace(name))
+			if a == nil {
+				return nil, fmt.Errorf("unknown analyzer %q", name)
+			}
+			picked = append(picked, a)
+		}
+		analyzers = picked
+	}
+	if disable != "" {
+		skip := map[string]bool{}
+		for _, name := range strings.Split(disable, ",") {
+			name = strings.TrimSpace(name)
+			if suite.ByName(name) == nil {
+				return nil, fmt.Errorf("unknown analyzer %q", name)
+			}
+			skip[name] = true
+		}
+		var kept []*analysis.Analyzer
+		for _, a := range analyzers {
+			if !skip[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
+	return analyzers, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "msf-lint:", err)
+	os.Exit(2)
+}

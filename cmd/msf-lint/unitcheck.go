@@ -1,0 +1,133 @@
+// The `go vet -vettool` unitchecker protocol: the go command invokes
+// the tool once per package with a single JSON config argument naming
+// the package's files and the export data of its dependencies, and
+// expects a facts file to be written to VetxOutput. The analyzers here
+// are fact-free, so the vetx payload is an empty placeholder; the
+// type-check itself reuses the gc export data exactly like
+// x/tools/go/analysis/unitchecker does.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+
+	"pmsf/internal/analysis"
+	"pmsf/internal/analysis/checker"
+	"pmsf/internal/analysis/load"
+)
+
+// vetConfig mirrors the cmd/go vet config JSON (the fields msf-lint
+// needs).
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msf-lint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "msf-lint: %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// The facts file must exist even though the suite exports none; the
+	// go command caches and feeds it to dependents.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("msf-lint: no facts\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "msf-lint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "msf-lint:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+
+	pkg := &load.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		TypesInfo: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Implicits:  map[ast.Node]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+			Instances:  map[*ast.Ident]types.Instance{},
+		},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, pkg.TypesInfo)
+	if err != nil && tpkg == nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "msf-lint:", err)
+		return 2
+	}
+	pkg.Types = tpkg
+	if len(pkg.TypeErrors) > 0 && cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+
+	diags, err := checker.Run([]*load.Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msf-lint:", err)
+		return 2
+	}
+	if checker.Print(os.Stderr, diags) > 0 {
+		return 2
+	}
+	return 0
+}

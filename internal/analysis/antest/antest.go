@@ -1,0 +1,115 @@
+// Package antest is the fixture harness for the msf-lint analyzers —
+// the stdlib-only analogue of x/tools' analysistest. A fixture is an
+// ordinary compilable package under the analyzer's testdata directory
+// whose source carries `// want "regexp"` comments: every diagnostic
+// the analyzer reports must match a want on its line, and every want
+// must be matched by a diagnostic. A fixture with no want comments
+// asserts the analyzer stays silent (the mandatory clean case).
+package antest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"pmsf/internal/analysis"
+	"pmsf/internal/analysis/checker"
+	"pmsf/internal/analysis/load"
+)
+
+// wantRe matches the trailing marker: // want "pattern" ["pattern" ...]
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// patRe extracts the quoted patterns from a want marker.
+var patRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package rooted at dir (relative to the test's
+// working directory), runs the analyzer on it, and compares the
+// diagnostics against the fixture's want comments. The checker's
+// //msf:ignore filtering is active, so fixtures can also assert that
+// suppressions work (an ignored line simply carries no want).
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("antest: %v", err)
+	}
+	pkgs, err := load.Load("", abs)
+	if err != nil {
+		t.Fatalf("antest: loading %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					pats := patRe.FindAllStringSubmatch(m[1], -1)
+					if len(pats) == 0 {
+						t.Errorf("%s: malformed want comment (no quoted pattern)", pos)
+						continue
+					}
+					for _, p := range pats {
+						re, err := regexp.Compile(strings.ReplaceAll(p[1], `\"`, `"`))
+						if err != nil {
+							t.Errorf("%s: bad want pattern %q: %v", pos, p[1], err)
+							continue
+						}
+						wants = append(wants, &expectation{pos.Filename, pos.Line, re, false})
+					}
+				}
+			}
+		}
+	}
+
+	diags, err := checker.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("antest: %v", err)
+	}
+
+	for _, d := range diags {
+		if d.Analyzer == "typecheck" {
+			t.Errorf("fixture does not type-check: %s", d)
+			continue
+		}
+		if !match(wants, d.Position, d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// match consumes the first unmatched expectation on the diagnostic's
+// line whose pattern matches the message.
+func match(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.pattern.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// Fixture returns the conventional fixture path testdata/src/<name>.
+func Fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}

@@ -1,0 +1,169 @@
+// Package arenaescape enforces the arena.Slab contract: memory handed
+// out by Alloc is recycled wholesale at the next Reset, so a slice
+// derived from an Alloc call must not be stored anywhere that outlives
+// the reset cycle — struct fields, package-level variables, channels.
+// The check is intraprocedural and flow-insensitive: it taints local
+// variables bound (directly, by alias, or by subslicing) to an Alloc
+// result and flags stores of tainted values into longer-lived homes.
+// Returning an arena-backed slice is allowed — that is the documented
+// hand-off idiom of alMem.concatScratch — because the caller's use is
+// its own function's concern.
+package arenaescape
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pmsf/internal/analysis"
+)
+
+const arenaPath = "pmsf/internal/arena"
+
+// Analyzer is the arenaescape analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "arenaescape",
+	Doc: "slices carved from internal/arena slabs must not be stored " +
+		"into structures that outlive the arena's Reset",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// isAllocCall matches calls to (*arena.Slab[T]).Alloc.
+func isAllocCall(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Alloc" {
+		return false
+	}
+	recv := analysis.ReceiverNamed(info, sel.X)
+	if recv == nil {
+		return false
+	}
+	obj := recv.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == arenaPath && obj.Name() == "Slab"
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Taint pass (iterated to a fixpoint so later aliases of earlier
+	// taints are found regardless of AST order; two rounds suffice for
+	// straight-line taint chains, and the loop is bounded by the number
+	// of assignments).
+	tainted := map[types.Object]bool{}
+	derived := func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.CallExpr:
+			return isAllocCall(info, e)
+		case *ast.Ident:
+			obj := info.Uses[e]
+			return obj != nil && tainted[obj]
+		case *ast.SliceExpr:
+			if id, ok := e.X.(*ast.Ident); ok {
+				obj := info.Uses[id]
+				return obj != nil && tainted[obj]
+			}
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if !derived(rhs) {
+					continue
+				}
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil && !tainted[obj] {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Violation pass.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if !derived(rhs) {
+					continue
+				}
+				switch lhs := n.Lhs[i].(type) {
+				case *ast.SelectorExpr:
+					pass.Reportf(n.Pos(),
+						"arena-backed slice stored into field %s, which may outlive the slab's Reset",
+						lhs.Sel.Name)
+				case *ast.IndexExpr:
+					// Storing into an element of another (non-tainted)
+					// container extends the lifetime too.
+					if id, ok := lhs.X.(*ast.Ident); ok {
+						if obj := info.Uses[id]; obj != nil && tainted[obj] {
+							continue
+						}
+					}
+					pass.Reportf(n.Pos(),
+						"arena-backed slice stored into a container element, which may outlive the slab's Reset")
+				case *ast.Ident:
+					if obj := info.Uses[lhs]; obj != nil && pkgLevel(obj) {
+						pass.Reportf(n.Pos(),
+							"arena-backed slice stored into package-level variable %s", lhs.Name)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if derived(n.Value) {
+				pass.Reportf(n.Pos(),
+					"arena-backed slice sent on a channel escapes the slab's Reset cycle")
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if derived(v) {
+					pass.Reportf(v.Pos(),
+						"arena-backed slice stored into a composite literal, which may outlive the slab's Reset")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func pkgLevel(obj types.Object) bool {
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}

@@ -1,0 +1,16 @@
+package arenaescape_test
+
+import (
+	"testing"
+
+	"pmsf/internal/analysis/antest"
+	"pmsf/internal/analysis/arenaescape"
+)
+
+func TestFixtures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool")
+	}
+	antest.Run(t, arenaescape.Analyzer, antest.Fixture("a"))
+	antest.Run(t, arenaescape.Analyzer, antest.Fixture("clean"))
+}

@@ -1,0 +1,42 @@
+// Package a exercises the arenaescape analyzer: slab-backed slices
+// stored into fields, globals, channels, containers and composite
+// literals (all outlive Reset), versus the legal copy-out and
+// return-hand-off idioms.
+package a
+
+import "pmsf/internal/arena"
+
+type cache struct {
+	kept []int32
+}
+
+var global []int32
+
+func bad(s *arena.Slab[int32], c *cache, ch chan []int32, table [][]int32) {
+	buf := s.Alloc(16)
+	c.kept = buf // want "stored into field kept"
+	sub := buf[2:8]
+	c.kept = sub         // want "stored into field kept"
+	global = buf         // want "package-level variable global"
+	ch <- buf            // want "sent on a channel"
+	table[0] = buf       // want "container element"
+	_ = cache{kept: buf} // want "composite literal"
+	c.kept = s.Alloc(4)  // want "stored into field kept"
+}
+
+func good(s *arena.Slab[int32], dst []int32) []int32 {
+	buf := s.Alloc(16)
+	for i := range buf {
+		buf[i] = int32(i)
+	}
+	copy(dst, buf) // ok: values are copied out of the slab
+	head := buf[:8]
+	head[0] = 1 // ok: writes through a tainted alias stay in the slab
+	s.Reset()
+	return s.Alloc(8) // ok: returning is the documented hand-off
+}
+
+func suppressed(s *arena.Slab[int32], c *cache) {
+	buf := s.Alloc(16)
+	c.kept = buf //msf:ignore arenaescape fixture cache is cleared before the slab resets
+}

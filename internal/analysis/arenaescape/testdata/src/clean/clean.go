@@ -1,0 +1,25 @@
+// Package clean is the arenaescape negative fixture: the concatScratch
+// idiom — carve, fill, hand the slice to the caller by return, recycle
+// with Reset between rounds.
+package clean
+
+import "pmsf/internal/arena"
+
+func concat(s *arena.Slab[int64], a, b []int64) []int64 {
+	out := s.Alloc(len(a) + len(b))
+	n := copy(out, a)
+	copy(out[n:], b)
+	return out
+}
+
+func rounds(s *arena.Slab[int64], data [][]int64) int64 {
+	var total int64
+	for i := 1; i < len(data); i++ {
+		merged := concat(s, data[i-1], data[i])
+		for _, v := range merged {
+			total += v
+		}
+		s.Reset()
+	}
+	return total
+}

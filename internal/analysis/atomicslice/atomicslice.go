@@ -1,0 +1,206 @@
+// Package atomicslice enforces the repo's benign-race discipline: a
+// slice declared with an "// accessed atomically" marker (the
+// mstbc color/visited arrays of Bader & Cong §5) may only be read and
+// written through sync/atomic calls on &s[i]. Plain element reads or
+// writes, range statements and subslicing all alias elements outside
+// the atomic protocol and are reported; passing the whole slice to
+// another function is an explicit hand-off and is allowed, provided the
+// receiving parameter is itself marked (via the //msf:atomic directive
+// on the callee's doc comment).
+package atomicslice
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"pmsf/internal/analysis"
+)
+
+// Marker is the comment text that marks a slice declaration.
+const Marker = "accessed atomically"
+
+// Analyzer is the atomicslice analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicslice",
+	Doc: "slices marked \"// accessed atomically\" must only be touched " +
+		"through sync/atomic operations on &s[i]",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		marked := markedObjects(pass, f)
+		if len(marked) == 0 {
+			continue
+		}
+		checkFile(pass, f, marked)
+	}
+	return nil
+}
+
+// markedObjects collects the slice variables of one file carrying the
+// marker: trailing or preceding "// accessed atomically" comments on
+// := assignments, var specs and struct fields, plus parameters named by
+// an //msf:atomic doc directive.
+func markedObjects(pass *analysis.Pass, f *ast.File) map[types.Object]bool {
+	lines := analysis.MarkerLines(pass.Fset, f, Marker)
+	// A trailing marker belongs to the declaration on its own line; only
+	// a marker on a line of its own applies to the line below. Record
+	// which lines hold declarations so a marked decl doesn't bleed onto
+	// its neighbour (visited/color sit on adjacent lines in mstbc).
+	declLine := map[int]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.AssignStmt, *ast.ValueSpec:
+			declLine[pass.Fset.Position(n.Pos()).Line] = true
+		}
+		return true
+	})
+	markedAt := func(pos token.Pos) bool {
+		l := pass.Fset.Position(pos).Line
+		return lines[l] || (lines[l-1] && !declLine[l-1])
+	}
+	marked := map[types.Object]bool{}
+	add := func(id *ast.Ident) {
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if _, ok := types.Unalias(obj.Type()).(*types.Slice); ok {
+			marked[obj] = true
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if markedAt(n.Pos()) {
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						add(id)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if markedAt(n.Pos()) {
+				for _, id := range n.Names {
+					add(id)
+				}
+			}
+		case *ast.FuncDecl:
+			args, ok := analysis.FuncDirective(n, "atomic")
+			if !ok {
+				return true
+			}
+			for _, field := range n.Type.Params.List {
+				for _, id := range field.Names {
+					for _, want := range args {
+						if id.Name == want {
+							add(id)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return marked
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File, marked map[types.Object]bool) {
+	info := pass.TypesInfo
+	isMarked := func(e ast.Expr) (string, bool) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		obj := info.Uses[id]
+		if obj == nil || !marked[obj] {
+			return "", false
+		}
+		return id.Name, true
+	}
+
+	analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			name, ok := isMarked(n.X)
+			if !ok {
+				return true
+			}
+			if atomicArg(info, n, stack) {
+				return true
+			}
+			pass.Reportf(n.Pos(),
+				"non-atomic access to %s[...] (slice is marked %q); go through sync/atomic on &%s[i]",
+				name, Marker, name)
+		case *ast.SliceExpr:
+			if name, ok := isMarked(n.X); ok {
+				pass.Reportf(n.Pos(),
+					"subslice of %s (marked %q) aliases its elements outside the atomic protocol", name, Marker)
+			}
+		case *ast.RangeStmt:
+			if name, ok := isMarked(n.X); ok {
+				pass.Reportf(n.X.Pos(),
+					"range over %s (marked %q) reads elements non-atomically", name, Marker)
+			}
+		case *ast.AssignStmt:
+			// A bare alias x := s silently drops the marker. Aliases are
+			// fine when the new name is marked on its own declaration.
+			for i, rhs := range n.Rhs {
+				name, ok := isMarked(rhs)
+				if !ok {
+					continue
+				}
+				if i < len(n.Lhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						if obj := objOf(info, id); obj != nil && marked[obj] {
+							continue
+						}
+						pass.Reportf(n.Pos(),
+							"alias %s of %s (marked %q) drops the marker; mark the new variable too",
+							id.Name, name, Marker)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// atomicArg reports whether the indexed access appears as &s[i] passed
+// directly to a sync/atomic operation.
+func atomicArg(info *types.Info, ix *ast.IndexExpr, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	unary, ok := stack[len(stack)-1].(*ast.UnaryExpr)
+	if !ok || unary.Op != token.AND || unary.X != ast.Expr(ix) {
+		return false
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	pkg, name, ok := analysis.CallPkg(info, call)
+	if !ok || pkg != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package atomicslice_test
+
+import (
+	"testing"
+
+	"pmsf/internal/analysis/antest"
+	"pmsf/internal/analysis/atomicslice"
+)
+
+func TestFixtures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool")
+	}
+	antest.Run(t, atomicslice.Analyzer, antest.Fixture("a"))
+	antest.Run(t, atomicslice.Analyzer, antest.Fixture("clean"))
+}

@@ -1,0 +1,49 @@
+// Package a exercises the atomicslice analyzer with the mstbc
+// color/visited access patterns: CAS claims, atomic loads/stores, and
+// the plain accesses that break the benign-race discipline.
+package a
+
+import "sync/atomic"
+
+//msf:atomic color
+func growTree(v int32, color []int64, my int64) {
+	if !atomic.CompareAndSwapInt64(&color[v], 0, my) { // ok: the claim CAS
+		return
+	}
+	_ = atomic.LoadInt64(&color[v]) // ok
+	if color[v] == 0 {              // want "non-atomic access to color"
+		return
+	}
+	color[v] = my // want "non-atomic access to color"
+}
+
+func roundLoop(n int) {
+	visited := make([]int32, n) // accessed atomically
+	color := make([]int64, n)   // accessed atomically
+
+	atomic.StoreInt32(&visited[0], 1)
+	if atomic.LoadInt32(&visited[1]) != 0 {
+		_ = visited[2] // want "non-atomic access to visited"
+	}
+	for _, c := range color { // want "range over color"
+		_ = c
+	}
+	tail := color[1:] // want "subslice of color"
+	_ = tail
+	alias := visited // want "alias alias of visited"
+	_ = alias
+	handoff(visited) // ok: whole-slice hand-off to a marked parameter
+	_ = len(color)   // ok
+
+	plain := make([]int64, n)
+	plain[0] = 1 // ok: unmarked slice
+	_ = plain
+
+	suppressed := color[2:] //msf:ignore atomicslice fixture proves the suppression grammar works
+	_ = suppressed
+}
+
+//msf:atomic visited
+func handoff(visited []int32) {
+	atomic.AddInt32(&visited[0], 1)
+}

@@ -1,0 +1,30 @@
+// Package clean is the atomicslice negative fixture: a fully
+// disciplined mstbc-style claim loop that must produce no diagnostics.
+package clean
+
+import "sync/atomic"
+
+//msf:atomic color visited
+func claim(order []int32, color []int64, visited []int32, my int64) int64 {
+	var grown int64
+	for _, v := range order {
+		if !atomic.CompareAndSwapInt64(&color[v], 0, my) {
+			continue
+		}
+		if atomic.LoadInt32(&visited[v]) == 0 {
+			atomic.StoreInt32(&visited[v], 1)
+			grown++
+		}
+	}
+	return grown
+}
+
+func driver(n int) int64 {
+	color := make([]int64, n)   // accessed atomically
+	visited := make([]int32, n) // accessed atomically
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	return claim(order, color, visited, 1)
+}

@@ -1,0 +1,123 @@
+// Package checker runs a set of analyzers over loaded packages, applies
+// the //msf:ignore suppression directives, and renders the surviving
+// diagnostics. It is the engine behind cmd/msf-lint and the repo smoke
+// test.
+package checker
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"sort"
+
+	"pmsf/internal/analysis"
+	"pmsf/internal/analysis/load"
+)
+
+// Diagnostic is one rendered finding.
+type Diagnostic struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Position, d.Analyzer, d.Message)
+}
+
+// ignoreKey identifies one suppressible (file, line, analyzer) site.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// Run executes every analyzer on every package and returns the
+// diagnostics that survive //msf:ignore filtering, sorted by position.
+// Soft type-check errors and malformed ignore directives are reported
+// as diagnostics of the pseudo-analyzers "typecheck" and "directive",
+// so a broken tree fails loudly instead of passing silently.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, err := range pkg.TypeErrors {
+			pos := token.Position{Filename: pkg.Dir}
+			if terr, ok := err.(interface{ Pos() token.Pos }); ok {
+				pos = pkg.Fset.Position(terr.Pos())
+			}
+			out = append(out, Diagnostic{Position: pos, Analyzer: "typecheck", Message: err.Error()})
+		}
+
+		ignores, malformed := ignoreDirectives(pkg)
+		out = append(out, malformed...)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				p := pkg.Fset.Position(d.Pos)
+				if ignores[ignoreKey{p.Filename, p.Line, a.Name}] ||
+					ignores[ignoreKey{p.Filename, p.Line - 1, a.Name}] {
+					return
+				}
+				out = append(out, Diagnostic{Position: p, Analyzer: a.Name, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// ignoreDirectives collects the //msf:ignore sites of a package. The
+// grammar is "//msf:ignore <analyzer> <reason...>"; a missing analyzer
+// name or reason makes the directive itself a finding, so suppressions
+// always document themselves.
+func ignoreDirectives(pkg *load.Package) (map[ignoreKey]bool, []Diagnostic) {
+	ignores := map[ignoreKey]bool{}
+	var malformed []Diagnostic
+	for _, f := range pkg.Files {
+		for _, d := range directivesOf(f) {
+			if d.Name != "ignore" {
+				continue
+			}
+			p := pkg.Fset.Position(d.Pos)
+			if len(d.Args) < 2 {
+				malformed = append(malformed, Diagnostic{
+					Position: p, Analyzer: "directive",
+					Message: "malformed ignore: want //msf:ignore <analyzer> <reason>",
+				})
+				continue
+			}
+			ignores[ignoreKey{p.Filename, p.Line, d.Args[0]}] = true
+		}
+	}
+	return ignores, malformed
+}
+
+func directivesOf(f *ast.File) []analysis.Directive { return analysis.Directives(f) }
+
+// Print writes diagnostics one per line to w and returns how many were
+// written.
+func Print(w io.Writer, diags []Diagnostic) int {
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+	return len(diags)
+}

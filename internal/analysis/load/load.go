@@ -1,0 +1,167 @@
+// Package load resolves and type-checks packages for the msf-lint
+// analyzers without any dependency outside the standard library. It
+// shells out to `go list -export -deps -json`, which works offline and
+// yields, for every package in the dependency closure, the compiled
+// export data in the build cache; the target packages themselves are
+// then parsed from source and type-checked with go/types, importing
+// their dependencies through the export data (the same split the
+// x/tools go/packages NeedSyntax|NeedTypes mode performs).
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one parsed and type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+	// TypeErrors holds soft type-check errors. Analysis proceeds on a
+	// best-effort basis when they are non-empty; the checker surfaces
+	// them so broken code fails loudly rather than silently passing.
+	TypeErrors []error
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	ImportMap  map[string]string
+	Match      []string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns (plus their full dependency closure), parses the
+// matched non-standard packages and type-checks them against the export
+// data of their dependencies. dir is the working directory for the go
+// tool ("" means the current one); patterns are anything `go list`
+// accepts, including "./..." and absolute directories (which is how the
+// antest fixture packages under testdata are reached).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=Dir,ImportPath,Export,Standard,GoFiles,ImportMap,Match,Incomplete,Error",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var all []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		all = append(all, lp)
+	}
+
+	// Export data of the whole closure, keyed by resolved import path.
+	exports := make(map[string]string, len(all))
+	for _, lp := range all {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, lp := range all {
+		// -deps lists the entire closure; only packages matched by the
+		// patterns are analysis targets.
+		if len(lp.Match) == 0 || lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := check(fset, lp, exports)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no packages matched %s", strings.Join(patterns, " "))
+	}
+	return out, nil
+}
+
+// check parses lp's files and type-checks them, importing dependencies
+// from export data.
+func check(fset *token.FileSet, lp *listPackage, exports map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := lp.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+
+	pkg := &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Fset:       fset,
+		Files:      files,
+		TypesInfo: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Implicits:  map[ast.Node]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+			Instances:  map[*ast.Ident]types.Instance{},
+		},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, pkg.TypesInfo)
+	if err != nil && tpkg == nil {
+		return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}

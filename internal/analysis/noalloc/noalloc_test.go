@@ -1,0 +1,16 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"pmsf/internal/analysis/antest"
+	"pmsf/internal/analysis/noalloc"
+)
+
+func TestFixtures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool")
+	}
+	antest.Run(t, noalloc.Analyzer, antest.Fixture("a"))
+	antest.Run(t, noalloc.Analyzer, antest.Fixture("clean"))
+}

@@ -1,0 +1,57 @@
+// Package a exercises the noalloc analyzer: every allocation shape the
+// round loops must avoid, plus the patterns (prebound bodies, branchy
+// float reductions) that must stay clean.
+package a
+
+type run struct {
+	buf  []int
+	body func(int)
+}
+
+func (r *run) step(int) {}
+
+func sink(v interface{}) { _ = v }
+
+//msf:noalloc
+func bad(r *run, n int, s string, bs []byte) {
+	r.buf = make([]int, n)   // want "make allocates"
+	r.buf = append(r.buf, 1) // want "append allocates"
+	x := new(int)            // want "new allocates"
+	_ = x
+	f := func() { _ = n } // want "closure captures n"
+	f()
+	_ = []int{1, 2}    // want "slice literal allocates"
+	m := map[int]int{} // want "map literal allocates"
+	_ = m
+	_ = &run{}            // want "composite literal allocates"
+	_ = s + "x"           // want "string concatenation allocates"
+	_ = string(bs)        // want "conversion to string allocates"
+	_ = []byte(s)         // want "string-to-slice conversion allocates"
+	_ = interface{}(n)    // want "conversion to interface boxes"
+	go func() {}()        // want "go statement"
+	sink(n)               // want "boxes into interface parameter"
+	r.body = r.step       // want "method value"
+	tmp := make([]int, 8) //msf:ignore noalloc setup-time allocation outside the measured round loop
+	_ = tmp
+}
+
+// minReduce is the mstbc/Compactor-style branchy min reduction over
+// float weights; ties (including -0.0 vs 0.0, which compare equal)
+// break by id. Nothing here allocates and nothing may be reported.
+//
+//msf:noalloc
+func minReduce(w []float64, id []int32) (float64, int32) {
+	best, bid := w[0], id[0]
+	for i := 1; i < len(w); i++ {
+		if w[i] < best || (w[i] == best && id[i] < bid) {
+			best, bid = w[i], id[i]
+		}
+	}
+	return best, bid
+}
+
+// unannotated may allocate freely.
+func unannotated(n int) []int {
+	out := make([]int, 0, n)
+	return append(out, n)
+}

@@ -1,0 +1,35 @@
+// Package clean is the noalloc negative fixture: the prebind-at-setup
+// idiom the Borůvka round loops and the packed-radix Compactor use —
+// allocation happens in the constructor, the annotated steady-state
+// body only reuses it.
+package clean
+
+type worker struct {
+	scratch []int64
+	body    func(w, lo, hi int)
+}
+
+func newWorker(n int) *worker {
+	wk := &worker{scratch: make([]int64, n)}
+	wk.body = wk.sumRange // method value bound once at setup
+	return wk
+}
+
+func (wk *worker) sumRange(w, lo, hi int) {
+	var sum int64
+	for i := lo; i < hi; i++ {
+		sum += wk.scratch[i]
+	}
+	wk.scratch[w] = sum
+}
+
+//msf:noalloc
+func (wk *worker) round(p, n int) {
+	for w := 0; w < p; w++ {
+		lo := w * n / p
+		hi := (w + 1) * n / p
+		wk.body(w, lo, hi)
+	}
+	wk.scratch = wk.scratch[:0]
+	wk.scratch = wk.scratch[:cap(wk.scratch)]
+}

@@ -1,0 +1,16 @@
+package spanpairing_test
+
+import (
+	"testing"
+
+	"pmsf/internal/analysis/antest"
+	"pmsf/internal/analysis/spanpairing"
+)
+
+func TestFixtures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool")
+	}
+	antest.Run(t, spanpairing.Analyzer, antest.Fixture("a"))
+	antest.Run(t, spanpairing.Analyzer, antest.Fixture("clean"))
+}

@@ -1,0 +1,23 @@
+// Package clean is the spanpairing negative fixture: the borel-style
+// round shape — a root span, per-phase child spans ended before the
+// next begins, and an early exit that still ends everything.
+package clean
+
+import "pmsf/internal/obs"
+
+func round(c *obs.Collector, it obs.Span, empty bool) bool {
+	step := it.Child("find-min")
+	work(&step)
+	step.End()
+	if empty {
+		it.End()
+		return false
+	}
+	step = it.Child("connect-components")
+	work(&step)
+	step.End()
+	it.End()
+	return true
+}
+
+func work(s *obs.Span) { s.SetInt("n", 1) }

@@ -1,0 +1,33 @@
+// Package suite registers the repo's analyzers in a stable order. It is
+// the single list cmd/msf-lint, the CI job and the smoke test all run.
+package suite
+
+import (
+	"pmsf/internal/analysis"
+	"pmsf/internal/analysis/arenaescape"
+	"pmsf/internal/analysis/atomicslice"
+	"pmsf/internal/analysis/noalloc"
+	"pmsf/internal/analysis/spanpairing"
+	"pmsf/internal/analysis/teamlifecycle"
+)
+
+// All returns every analyzer of the msf-lint suite.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		arenaescape.Analyzer,
+		atomicslice.Analyzer,
+		noalloc.Analyzer,
+		spanpairing.Analyzer,
+		teamlifecycle.Analyzer,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package teamlifecycle_test
+
+import (
+	"testing"
+
+	"pmsf/internal/analysis/antest"
+	"pmsf/internal/analysis/teamlifecycle"
+)
+
+func TestFixtures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool")
+	}
+	antest.Run(t, teamlifecycle.Analyzer, antest.Fixture("a"))
+	antest.Run(t, teamlifecycle.Analyzer, antest.Fixture("clean"))
+}

@@ -1,0 +1,31 @@
+// Package clean is the teamlifecycle negative fixture: the
+// Workspace-style pattern of one team reused across phases and closed
+// exactly once.
+package clean
+
+import "pmsf/internal/par"
+
+func phases(p, n int, data []int64) int64 {
+	t := par.NewTeam(p)
+	defer t.Close()
+
+	part := make([]int64, p)
+	t.For(n, func(w, lo, hi int) {
+		var sum int64
+		for i := lo; i < hi; i++ {
+			sum += data[i]
+		}
+		part[w] += sum
+	})
+	t.ForDynamic(n, 256, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i]++
+		}
+	})
+
+	var total int64
+	for _, s := range part {
+		total += s
+	}
+	return total
+}

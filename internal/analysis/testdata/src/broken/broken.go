@@ -1,0 +1,12 @@
+// Package broken deliberately violates the repo invariants; the smoke
+// test asserts msf-lint's checker reports it (the ISSUE's "plain read
+// of a marked slice must fail" acceptance case).
+package broken
+
+import "sync/atomic"
+
+func plainRead(n int) int64 {
+	color := make([]int64, n) // accessed atomically
+	atomic.StoreInt64(&color[0], 1)
+	return color[0] // plain read: atomicslice must flag this
+}

@@ -240,6 +240,7 @@ func newALRun(g *graph.EdgeList, opt Options, arenaMode bool, name string) *alRu
 	return r
 }
 
+//msf:noalloc
 func (r *alRun) totalArcs() int64 {
 	r.ws.team.Run(r.totalBody)
 	var t int64
@@ -249,6 +250,7 @@ func (r *alRun) totalArcs() int64 {
 	return t
 }
 
+//msf:noalloc
 func (r *alRun) round() bool {
 	total := r.totalArcs()
 	if total == 0 {
@@ -278,12 +280,15 @@ func (r *alRun) round() bool {
 	return true
 }
 
+//msf:noalloc
 func (r *alRun) findMinPhase() {
 	r.ws.team.ForDynamic(r.st.n, 512, r.findMinBody)
 	r.ws.harvest(r.st.n)
 }
 
 // findMinWork scans each vertex's adjacency list for its minimum edge.
+//
+//msf:noalloc
 func (r *alRun) findMinWork(_, lo, hi int) {
 	parent, sel := r.ws.parent, r.ws.sel
 	for v := lo; v < hi; v++ {
@@ -304,6 +309,7 @@ func (r *alRun) findMinWork(_, lo, hi int) {
 	}
 }
 
+//msf:noalloc
 func (r *alRun) connectPhase() {
 	r.labels, r.k = r.ws.res.Resolve(r.ws.parent[:r.st.n])
 }
@@ -314,6 +320,8 @@ func (r *alRun) connectPhase() {
 // sort above), and merge every group's sorted lists into the new
 // supervertex's list, dropping self-loops and keeping the minimum edge
 // per target.
+//
+//msf:noalloc
 func (r *alRun) compactPhase() {
 	r.mem.resetIteration()
 	k := r.k
@@ -354,6 +362,7 @@ func (r *alRun) compactPhase() {
 	r.newOff, r.newArcs, r.newDeg = nil, nil, nil
 }
 
+//msf:noalloc
 func (r *alRun) relabelWork(w int) {
 	lo, hi := par.Block(r.st.n, r.p, w)
 	labels := r.labels
@@ -365,6 +374,7 @@ func (r *alRun) relabelWork(w int) {
 	}
 }
 
+//msf:noalloc
 func (r *alRun) sortListsWork(w, lo, hi int) {
 	for v := lo; v < hi; v++ {
 		list := r.st.adj(int32(v))
@@ -376,6 +386,7 @@ func (r *alRun) sortListsWork(w, lo, hi int) {
 	}
 }
 
+//msf:noalloc
 func (r *alRun) boundWork(w int) {
 	lo, hi := par.Block(r.k, r.p, w)
 	order, gstarts := r.order, r.gstarts
@@ -388,6 +399,7 @@ func (r *alRun) boundWork(w int) {
 	}
 }
 
+//msf:noalloc
 func (r *alRun) mergeWork(w, lo, hi int) {
 	for g := lo; g < hi; g++ {
 		members := r.order[r.gstarts[g]:r.gstarts[g+1]]
@@ -396,6 +408,7 @@ func (r *alRun) mergeWork(w, lo, hi int) {
 	}
 }
 
+//msf:noalloc
 func (r *alRun) totalWork(w int) {
 	lo, hi := par.Block(r.st.n, r.p, w)
 	deg := r.st.deg
@@ -473,6 +486,8 @@ func mergeGroup(st *alState, members []int32, self int32, dst []graph.AdjEntry, 
 
 // filterCopy copies src into dst dropping self-loops and duplicate
 // targets (src must be sorted by adjLess); returns the kept count.
+//
+//msf:noalloc
 func filterCopy(src []graph.AdjEntry, self int32, dst []graph.AdjEntry) int32 {
 	var out int32
 	lastTo := int32(-1)

@@ -99,6 +99,8 @@ func newELRun(g *graph.EdgeList, opt Options) *elRun {
 
 // round runs one Borůvka iteration and reports whether the working list
 // still had edges (i.e. whether an iteration actually ran).
+//
+//msf:noalloc
 func (r *elRun) round() bool {
 	if len(r.edges) == 0 {
 		return false
@@ -143,11 +145,14 @@ func elTeam(g *graph.EdgeList, opt Options) (*graph.Forest, *Stats) {
 // findMinPhase: each vertex scans its contiguous segment of the sorted
 // working list for its minimum edge, then the round's selections are
 // harvested into the forest.
+//
+//msf:noalloc
 func (r *elRun) findMinPhase() {
 	r.ws.team.ForDynamic(r.n, 1024, r.findMinBody)
 	r.ws.harvest(r.n)
 }
 
+//msf:noalloc
 func (r *elRun) findMinWork(_, lo, hi int) {
 	edges, starts := r.edges, r.starts
 	parent, sel := r.ws.parent, r.ws.sel
@@ -169,18 +174,22 @@ func (r *elRun) findMinWork(_, lo, hi int) {
 	}
 }
 
+//msf:noalloc
 func (r *elRun) connectPhase() {
 	r.labels, r.k = r.ws.res.Resolve(r.ws.parent[:r.n])
 }
 
 // compactPhase: relabel both endpoints to the new supervertex ids, then
 // run the packed-key radix compaction into the ping-pong buffers.
+//
+//msf:noalloc
 func (r *elRun) compactPhase() {
 	r.ws.team.Run(r.relabelBody)
 	r.n = r.k
 	r.edges, r.spare = r.comp.Compact(r.edges, r.spare, r.n, r.keepIdx, r.starts[:r.n+1])
 }
 
+//msf:noalloc
 func (r *elRun) relabelWork(w int) {
 	lo, hi := par.Block(len(r.edges), r.p, w)
 	edges, labels := r.edges, r.labels

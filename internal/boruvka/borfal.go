@@ -81,6 +81,7 @@ func newFALRun(g *graph.EdgeList, opt Options) *falRun {
 	return r
 }
 
+//msf:noalloc
 func (r *falRun) round() bool {
 	it := r.root.Child("iteration")
 	it.SetInt("n", int64(r.f.N))
@@ -115,6 +116,7 @@ func (r *falRun) round() bool {
 	return true
 }
 
+//msf:noalloc
 func (r *falRun) findMinPhase() {
 	for w := 0; w < r.p; w++ {
 		r.chainArcs[w] = 0
@@ -137,6 +139,8 @@ func (r *falRun) findMinPhase() {
 // findMinWork walks each supervertex's block chain directly (the
 // callback-free form of FlexAdj.Chain) so the hot loop stays free of
 // per-vertex closures.
+//
+//msf:noalloc
 func (r *falRun) findMinWork(w, lo, hi int) {
 	f := r.f
 	arcs := f.Base.Arcs
@@ -172,10 +176,12 @@ func (r *falRun) findMinWork(w, lo, hi int) {
 	r.selCounts[w] += selCnt
 }
 
+//msf:noalloc
 func (r *falRun) connectPhase() {
 	r.labels, r.k = r.ws.res.Resolve(r.ws.parent[:r.f.N])
 }
 
+//msf:noalloc
 func (r *falRun) compactPhase() {
 	k := r.k
 	r.ws.grp.Group(r.labels, k, r.order[:r.f.N], r.gstarts[:k+1])
@@ -191,6 +197,7 @@ func (r *falRun) compactPhase() {
 	r.newHead, r.newTail = nil, nil
 }
 
+//msf:noalloc
 func (r *falRun) appendWork(_, lo, hi int) {
 	f := r.f
 	for gidx := lo; gidx < hi; gidx++ {
@@ -212,6 +219,7 @@ func (r *falRun) appendWork(_, lo, hi int) {
 	}
 }
 
+//msf:noalloc
 func (r *falRun) lookupWork(w int) {
 	f := r.f
 	lo, hi := par.Block(len(f.Lookup), r.p, w)

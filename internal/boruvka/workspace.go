@@ -63,6 +63,8 @@ func (ws *Workspace) forestIDs() []int32 { return ws.ids[:ws.idsLen] }
 // like the package-level harvest, but out of the reused ids buffer: a
 // per-worker count, an exclusive scan, and a scatter of sel values.
 // parent must be the raw chosen-neighbor array BEFORE resolve.
+//
+//msf:noalloc
 func (ws *Workspace) harvest(n int) {
 	ws.n = n
 	ws.team.Run(ws.harvestCountBody)
@@ -79,6 +81,8 @@ func (ws *Workspace) harvest(n int) {
 // picked reports whether supervertex v owns its selected edge this
 // round: it chose a neighbor, and in the mutual-pair case the smaller
 // endpoint owns the shared edge.
+//
+//msf:noalloc
 func picked(parent []int32, v int) bool {
 	pv := parent[v]
 	if int(pv) == v {
@@ -87,6 +91,7 @@ func picked(parent []int32, v int) bool {
 	return int(parent[pv]) != v || int(pv) >= v
 }
 
+//msf:noalloc
 func (ws *Workspace) harvestCountWork(w int) {
 	lo, hi := par.Block(ws.n, ws.p, w)
 	parent := ws.parent
@@ -99,6 +104,7 @@ func (ws *Workspace) harvestCountWork(w int) {
 	ws.wcount[w] = c
 }
 
+//msf:noalloc
 func (ws *Workspace) harvestScatterWork(w int) {
 	lo, hi := par.Block(ws.n, ws.p, w)
 	parent, sel, ids := ws.parent, ws.sel, ws.ids
@@ -113,6 +119,8 @@ func (ws *Workspace) harvestScatterWork(w int) {
 
 // labeled runs fn under the collector's pprof phase label when tracing
 // is live, and calls it directly (no closure, no allocation) otherwise.
+//
+//msf:noalloc
 func labeled(c *obs.Collector, algo, phase string, fn func()) {
 	if c != nil {
 		c.Labeled(algo, phase, fn)

@@ -102,6 +102,7 @@ func (r *Resolver) Resolve(parent []int32) (labels []int32, k int) {
 	return r.labels[:n], k
 }
 
+//msf:noalloc
 func (r *Resolver) breakWork(w int) {
 	lo, hi := par.Block(r.n, r.p, w)
 	cur, next := r.cur, r.next
@@ -119,6 +120,7 @@ func (r *Resolver) breakWork(w int) {
 	}
 }
 
+//msf:noalloc
 func (r *Resolver) jumpWork(w int) {
 	lo, hi := par.Block(r.n, r.p, w)
 	cur, next := r.cur, r.next
@@ -133,6 +135,7 @@ func (r *Resolver) jumpWork(w int) {
 	r.changed[w] = c
 }
 
+//msf:noalloc
 func (r *Resolver) rootCountWork(w int) {
 	lo, hi := par.Block(r.n, r.p, w)
 	cur := r.cur
@@ -145,6 +148,7 @@ func (r *Resolver) rootCountWork(w int) {
 	r.wcount[w] = c
 }
 
+//msf:noalloc
 func (r *Resolver) rootScatterWork(w int) {
 	lo, hi := par.Block(r.n, r.p, w)
 	cur, rootLabel := r.cur, r.rootLabel
@@ -157,6 +161,7 @@ func (r *Resolver) rootScatterWork(w int) {
 	}
 }
 
+//msf:noalloc
 func (r *Resolver) labelWork(w int) {
 	lo, hi := par.Block(r.n, r.p, w)
 	cur, rootLabel, labels := r.cur, r.rootLabel, r.labels

@@ -445,6 +445,8 @@ func myColors(w, p int, t int64) int64 {
 // growTree runs the Prim growth loop of Alg. 2 from root v with color my.
 // It returns the number of vertices incorporated and whether growth ended
 // in a collision with a foreign color.
+//
+//msf:atomic color visited
 func growTree(
 	v int32, my int64, h *heap.IndexedHeap,
 	color []int64, visited []int32,

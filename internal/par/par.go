@@ -49,6 +49,8 @@ func (r Range) Len() int { return r.Hi - r.Lo }
 // that run on a persistent Team use it to compute their own range, which
 // keeps the steady-state loop free of the []Range allocation Split
 // performs.
+//
+//msf:noalloc
 func Block(n, p, w int) (lo, hi int) {
 	base := n / p
 	extra := n % p

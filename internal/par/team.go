@@ -75,6 +75,8 @@ func (t *Team) P() int { return t.p }
 // Run executes body(w) for w in [0, p) — worker 0 on the calling
 // goroutine — and waits for all of them. Run panics if the team has been
 // closed; the workers are gone, so no body could ever execute.
+//
+//msf:noalloc
 func (t *Team) Run(body func(worker int)) {
 	t.mu.Lock()
 	if t.closing {
@@ -107,6 +109,8 @@ func (t *Team) For(n int, body func(worker, lo, hi int)) {
 // of the package-level ForDynamic, with the same chunk metrics. Use it
 // when per-index cost is irregular (per-vertex adjacency lists, skewed
 // duplicate runs). body must not call back into the team.
+//
+//msf:noalloc
 func (t *Team) ForDynamic(n, grain int, body func(worker, lo, hi int)) {
 	if grain < 1 {
 		grain = 1
@@ -124,6 +128,8 @@ func (t *Team) ForDynamic(n, grain int, body func(worker, lo, hi int)) {
 // dynWork is the persistent per-worker chunk-claim loop behind
 // ForDynamic; it is bound once in NewTeam so ForDynamic never creates a
 // closure.
+//
+//msf:noalloc
 func (t *Team) dynWork(w int) {
 	n, grain := t.dynN, t.dynGrain
 	metrics := obs.MetricsOn()

@@ -68,7 +68,7 @@ func TestTeamRunAfterClosePanics(t *testing.T) {
 			t.Fatal("Run after Close did not panic")
 		}
 	}()
-	team.Run(func(int) {})
+	team.Run(func(int) {}) //msf:ignore teamlifecycle this test deliberately runs after Close to pin the panic
 }
 
 func TestNewTeamZeroPanics(t *testing.T) {

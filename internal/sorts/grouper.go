@@ -62,6 +62,7 @@ func (g *Grouper) Group(keys []int32, k int, order []int32, starts []int64) {
 	g.keys = nil
 }
 
+//msf:noalloc
 func (g *Grouper) countWork(w int) {
 	lo, hi := par.Block(g.n, g.p, w)
 	c := g.counts[w*g.k : (w+1)*g.k]
@@ -74,6 +75,7 @@ func (g *Grouper) countWork(w int) {
 	}
 }
 
+//msf:noalloc
 func (g *Grouper) scatterWork(w int) {
 	lo, hi := par.Block(g.n, g.p, w)
 	off := g.counts[w*g.k : (w+1)*g.k]

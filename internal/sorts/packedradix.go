@@ -122,6 +122,8 @@ func NewCompactor(p int, team *par.Team) *Compactor {
 //
 // Requirements: cap(spare) >= len(edges), len(keepIdx) >= len(edges),
 // len(starts) == n+1, and every endpoint in [0, n).
+//
+//msf:noalloc
 func (c *Compactor) Compact(edges, spare []graph.WEdge, n int, keepIdx []int32, starts []int64) (out, newSpare []graph.WEdge) {
 	m := len(edges)
 	c.m, c.n, c.starts, c.keepIdx = m, n, starts, keepIdx
@@ -196,10 +198,13 @@ func (c *Compactor) Compact(edges, spare []graph.WEdge, n int, keepIdx []int32, 
 }
 
 // packedKey builds the 2·width-bit sort key of a working edge.
+//
+//msf:noalloc
 func packedKey(e graph.WEdge, width uint) uint64 {
 	return uint64(uint32(e.U))<<width | uint64(uint32(e.V))
 }
 
+//msf:noalloc
 func (c *Compactor) countWork(w int) {
 	lo, hi := par.Block(c.m, c.p, w)
 	h := c.hist[w<<c.digitBits : (w+1)<<c.digitBits]
@@ -213,6 +218,7 @@ func (c *Compactor) countWork(w int) {
 	}
 }
 
+//msf:noalloc
 func (c *Compactor) scatterWork(w int) {
 	lo, hi := par.Block(c.m, c.p, w)
 	h := c.hist[w<<c.digitBits : (w+1)<<c.digitBits]
@@ -226,6 +232,7 @@ func (c *Compactor) scatterWork(w int) {
 	}
 }
 
+//msf:noalloc
 func (c *Compactor) headCountWork(w int) {
 	lo, hi := par.Block(c.m, c.p, w)
 	src := c.src
@@ -242,6 +249,7 @@ func (c *Compactor) headCountWork(w int) {
 	c.wcount[w] = cnt
 }
 
+//msf:noalloc
 func (c *Compactor) headScatterWork(w int) {
 	lo, hi := par.Block(c.m, c.p, w)
 	src, keep := c.src, c.keepIdx
@@ -258,6 +266,7 @@ func (c *Compactor) headScatterWork(w int) {
 	}
 }
 
+//msf:noalloc
 func (c *Compactor) reduceWork(_, lo, hi int) {
 	src, out, keep := c.src, c.out, c.keepIdx
 	m := c.m
@@ -277,6 +286,7 @@ func (c *Compactor) reduceWork(_, lo, hi int) {
 	}
 }
 
+//msf:noalloc
 func (c *Compactor) startsClearWork(w int) {
 	lo, hi := par.Block(c.n, c.p, w)
 	starts := c.starts
@@ -285,6 +295,7 @@ func (c *Compactor) startsClearWork(w int) {
 	}
 }
 
+//msf:noalloc
 func (c *Compactor) startsMarkWork(w int) {
 	lo, hi := par.Block(c.kept, c.p, w)
 	out, starts := c.out, c.starts
