@@ -427,6 +427,40 @@ func BenchmarkAblationELSortEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineMatrix runs the lock-free engines (Bor-CAS, Bor-WM)
+// against the Bor-EL reference, end to end through the public API,
+// across low-diameter and tie-heavy families — the stable entry point
+// behind msf-bench -benchjson's engine rows (results/BENCH_PR6.json).
+func BenchmarkEngineMatrix(b *testing.B) {
+	families := []struct {
+		name string
+		g    *graph.EdgeList
+	}{
+		{"random-6x", randomGraph(6)},
+		{"random-6x-ties", cachedGraph("random-6x-ties", func() *graph.EdgeList {
+			return gen.Reweight(gen.Random(benchN, 6*benchN, 42), gen.WeightsSmallInts, 43)
+		})},
+		{"star", cachedGraph("star", func() *graph.EdgeList { return gen.Star(benchN, 42) })},
+		{"mesh", meshGraph("mesh")},
+	}
+	for _, fam := range families {
+		for _, algo := range []Algorithm{BorEL, BorCAS, BorWM} {
+			for _, p := range []int{1, 4, 8} {
+				b.Run(fmt.Sprintf("%s/%v/p=%d", fam.name, algo, p), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, _, err := MinimumSpanningForest(fam.g, algo, Options{
+							Workers: p, Seed: 1,
+						}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkObsOverhead measures the observability tax on Bor-EL: the
 // disabled path (nil collector, metrics off) must match the
 // uninstrumented implementation within noise, while the traced run shows

@@ -18,10 +18,16 @@
 // ns/op drifts are compared with the same two tiers. The fresh report
 // can be written with -out for archival (the CI bench artifact).
 //
+// Baselines carrying MSF engine-matrix rows (results/BENCH_PR6.json)
+// additionally get per-(family, p) speedup checks of the lock-free
+// engines over Bor-EL; those rows are always warn-only — end-to-end
+// engine times are noisier than the isolated kernel. -warnonly demotes
+// every hard failure to a warning (exit 0), for advisory CI steps.
+//
 // Usage:
 //
 //	benchguard [-baseline results/BENCH_PR2.json] [-scale small]
-//	           [-threshold 1.3] [-fail 2.0] [-out fresh.json]
+//	           [-threshold 1.3] [-fail 2.0] [-out fresh.json] [-warnonly]
 package main
 
 import (
@@ -40,6 +46,7 @@ func main() {
 	threshold := flag.Float64("threshold", 1.3, "warn when a ratio degrades by more than this factor")
 	failAt := flag.Float64("fail", 2.0, "exit 1 when a ratio degrades by more than this factor")
 	outPath := flag.String("out", "", "write the fresh report as JSON to this path")
+	warnOnly := flag.Bool("warnonly", false, "demote hard failures to warnings (always exit 0)")
 	flag.Parse()
 
 	base, err := loadBaseline(*baselinePath)
@@ -50,9 +57,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fresh := bench.CompactBench(bench.Config{
-		Scale: scale, Seed: base.Seed, Workers: workerSet(base),
-	})
+	cfg := bench.Config{Scale: scale, Seed: base.Seed, Workers: workerSet(base)}
+	fresh := bench.CompactBench(cfg)
+	if len(base.Engines) > 0 {
+		fresh.EngineBaseline = base.EngineBaseline
+		fresh.Engines = bench.EngineMatrixBench(cfg)
+	}
 	if *outPath != "" {
 		if err := writeReport(*outPath, fresh); err != nil {
 			fatal(err)
@@ -68,6 +78,13 @@ func main() {
 	} else {
 		fmt.Printf("note: fresh run at scale %s, baseline at %s; absolute ns/op not compared\n",
 			fresh.Scale, base.Scale)
+	}
+	if len(base.Engines) > 0 {
+		warns += compareEngines(base, fresh, *threshold)
+	}
+	if *warnOnly && fails > 0 {
+		fmt.Printf("note: -warnonly, demoting %d hard failure(s) to warnings\n", fails)
+		warns, fails = warns+fails, 0
 	}
 	switch {
 	case fails > 0:
@@ -164,6 +181,51 @@ func compareSpeedups(base, fresh *bench.CompactBenchReport, warnAt, failAt float
 		fmt.Println(line)
 	}
 	return warns, fails
+}
+
+// engineKey identifies one engine-matrix measurement across reports.
+type engineKey struct {
+	algo    string
+	workers int
+	family  string
+}
+
+func engineIndex(rows []bench.EngineBenchEntry) map[engineKey]int64 {
+	m := map[engineKey]int64{}
+	for _, e := range rows {
+		m[engineKey{e.Algo, e.Workers, e.Family}] = e.NsPerOp
+	}
+	return m
+}
+
+// compareEngines checks the lock-free engines' speedup over the Bor-EL
+// reference at each (family, p) in both reports. Always warn-only:
+// end-to-end engine times carry more scheduler noise than the isolated
+// compact-graph kernel, so these rows track trends without gating.
+func compareEngines(base, fresh *bench.CompactBenchReport, warnAt float64) (warns int) {
+	bi, fi := engineIndex(base.Engines), engineIndex(fresh.Engines)
+	ref := base.EngineBaseline
+	fmt.Printf("engine-matrix speedups over %s (baseline vs fresh, warn-only):\n", ref)
+	for _, e := range base.Engines {
+		if e.Algo == ref {
+			continue
+		}
+		bref := bi[engineKey{ref, e.Workers, e.Family}]
+		fref := fi[engineKey{ref, e.Workers, e.Family}]
+		fcand := fi[engineKey{e.Algo, e.Workers, e.Family}]
+		if bref == 0 || fref == 0 || fcand == 0 || e.NsPerOp == 0 {
+			continue // configuration not present in the fresh run
+		}
+		bs := float64(bref) / float64(e.NsPerOp)
+		fs := float64(fref) / float64(fcand)
+		line := fmt.Sprintf("  %-16s %-8s p=%-2d  %.2fx -> %.2fx", e.Family, e.Algo, e.Workers, bs, fs)
+		if fs*warnAt < bs {
+			line += "   WARN: speedup degraded"
+			warns++
+		}
+		fmt.Println(line)
+	}
+	return warns
 }
 
 // compareAbsolute reports per-entry ns/op drift when the scales match.

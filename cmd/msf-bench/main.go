@@ -120,6 +120,8 @@ func profileRun(algo string, scale bench.Scale, seed uint64, workers int, traceO
 		err = report.MSTBC(os.Stdout, res.Stats.MSTBC)
 	case res.Stats.Filter != nil:
 		err = report.Filter(os.Stdout, res.Stats.Filter)
+	case res.Stats.CASHook != nil:
+		err = report.CASHook(os.Stdout, res.Stats.CASHook)
 	}
 	if err != nil {
 		return err
@@ -151,10 +153,13 @@ func profileRun(algo string, scale bench.Scale, seed uint64, workers int, traceO
 	return nil
 }
 
-// writeBenchJSON runs the compact-graph engine study and writes the
-// machine-readable report (the repo's perf trajectory baseline).
+// writeBenchJSON runs the compact-graph engine study plus the MSF
+// engine matrix and writes the machine-readable report (the repo's perf
+// trajectory baseline).
 func writeBenchJSON(path string, cfg bench.Config) error {
 	rep := bench.CompactBench(cfg)
+	rep.EngineBaseline = bench.EngineAlgos()[0].String()
+	rep.Engines = bench.EngineMatrixBench(cfg)
 	if dir := filepath.Dir(path); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err
@@ -171,7 +176,8 @@ func writeBenchJSON(path string, cfg bench.Config) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("compact-graph engine study: %d measurements written to %s\n", len(rep.Entries), path)
+	fmt.Printf("compact-graph engine study: %d measurements (+%d engine-matrix rows) written to %s\n",
+		len(rep.Entries), len(rep.Engines), path)
 	return nil
 }
 

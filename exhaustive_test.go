@@ -106,6 +106,8 @@ func TestExhaustiveSmallGraphs(t *testing.T) {
 	weightPatterns := map[string]func(i int) float64{
 		"distinct":   func(i int) float64 { return float64((i*7)%13) + 0.5 },
 		"heavy-ties": func(i int) float64 { return float64(i % 2) },
+		"all-equal":  func(i int) float64 { return 1 },
+		"negative":   func(i int) float64 { return -float64((i*5)%7) - 0.5 },
 	}
 	sizes := []int{4, 5}
 	if testing.Short() {

@@ -65,7 +65,8 @@ type CompactBenchEntry struct {
 }
 
 // CompactBenchReport is the machine-readable artifact of the engine
-// study (results/BENCH_PR2.json).
+// study (results/BENCH_PR2.json, and with the MSF engine matrix rows
+// attached, results/BENCH_PR6.json).
 type CompactBenchReport struct {
 	Scale      string              `json:"scale"`
 	Seed       uint64              `json:"seed"`
@@ -73,6 +74,11 @@ type CompactBenchReport struct {
 	Baseline   string              `json:"baseline_engine"`
 	Candidate  string              `json:"candidate_engine"`
 	Entries    []CompactBenchEntry `json:"entries"`
+	// EngineBaseline names the MSF engine the matrix rows are judged
+	// against (Bor-EL); Engines holds the end-to-end engine matrix.
+	// Both are absent from reports written before the matrix existed.
+	EngineBaseline string             `json:"engine_baseline,omitempty"`
+	Engines        []EngineBenchEntry `json:"engines,omitempty"`
 }
 
 // WriteJSON writes the report as indented JSON.

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"math"
+	"time"
+
+	"pmsf"
+	"pmsf/internal/gen"
+	"pmsf/internal/graph"
+)
+
+// The MSF engine matrix: the two lock-free engines (Bor-CAS, Bor-WM)
+// against the Bor-EL reference, end to end, across low-diameter and
+// tie-heavy families at several worker counts. msf-bench -benchjson
+// attaches the rows to the compact-graph report (results/BENCH_PR6.json)
+// and benchguard tracks them warn-only.
+
+// EngineBenchEntry is one algorithm × workers × family measurement.
+type EngineBenchEntry struct {
+	Algo    string `json:"algo"`
+	Workers int    `json:"workers"`
+	Family  string `json:"family"`
+	N       int    `json:"n"`
+	M       int    `json:"m"`
+	NsPerOp int64  `json:"ns_per_op"`
+}
+
+// engineFamily is one input of the matrix.
+type engineFamily struct {
+	name string
+	g    *graph.EdgeList
+}
+
+// engineFamilies builds the matrix inputs: low-diameter random graphs
+// (distinct and tied weights), a star (diameter 2), a geometric graph,
+// and a mesh as the high-diameter control.
+func engineFamilies(scale Scale, seed uint64) []engineFamily {
+	n := scale.BaseN()
+	side := int(math.Sqrt(float64(n)))
+	return []engineFamily{
+		{"random-6x", gen.Random(n, 6*n, seed)},
+		{"random-6x-ties", gen.Reweight(gen.Random(n, 6*n, seed+1), gen.WeightsSmallInts, seed+2)},
+		{"star", gen.Star(n, seed+3)},
+		{"geometric-k6", gen.Geometric(n, 6, seed+4)},
+		{"mesh", gen.Mesh2D(side, side, seed+5)},
+	}
+}
+
+// EngineAlgos lists the matrix algorithms, reference first.
+func EngineAlgos() []pmsf.Algorithm {
+	return []pmsf.Algorithm{pmsf.BorEL, pmsf.BorCAS, pmsf.BorWM}
+}
+
+// EngineMatrixBench measures the engine matrix: best-of-reps wall time
+// of a full MinimumSpanningForest call per (family, algorithm, p).
+func EngineMatrixBench(cfg Config) []EngineBenchEntry {
+	reps := 3
+	if cfg.Scale >= Paper {
+		reps = 1
+	}
+	var out []EngineBenchEntry
+	for _, fam := range engineFamilies(cfg.Scale, cfg.Seed) {
+		for _, algo := range EngineAlgos() {
+			for _, p := range cfg.workers() {
+				var best time.Duration
+				for r := 0; r < reps; r++ {
+					d := timeIt(func() {
+						if _, _, err := pmsf.MinimumSpanningForest(fam.g, algo, pmsf.Options{
+							Workers: p, Seed: cfg.Seed,
+						}); err != nil {
+							panic(err)
+						}
+					})
+					if r == 0 || d < best {
+						best = d
+					}
+				}
+				out = append(out, EngineBenchEntry{
+					Algo:    algo.String(),
+					Workers: p,
+					Family:  fam.name,
+					N:       fam.g.N,
+					M:       len(fam.g.Edges),
+					NsPerOp: best.Nanoseconds(),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -217,6 +217,16 @@ func statsView(c *obs.Collector, root obs.Span, name string, p int, collect bool
 	return stats
 }
 
+// StatsView materializes a Stats view over the span tree recorded by any
+// engine that follows this package's span schema — "iteration" children
+// of root carrying n/list_size args with find-min, connect-components and
+// compact-graph step children. Exported for engines outside this package
+// (internal/writemin) that reuse the Borůvka Stats shape so reporting and
+// benching treat them uniformly.
+func StatsView(c *obs.Collector, root obs.Span, name string, p int, collect bool) *Stats {
+	return statsView(c, root, name, p, collect)
+}
+
 // retire reports working-list entries eliminated by a compaction to the
 // process-wide metrics.
 func retire(n int64) {

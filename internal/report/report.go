@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"pmsf/internal/boruvka"
+	"pmsf/internal/cashook"
 	"pmsf/internal/filter"
 	"pmsf/internal/mstbc"
 	"pmsf/internal/obs"
@@ -35,6 +36,16 @@ func Boruvka(w io.Writer, s *boruvka.Stats) error {
 	_, err := fmt.Fprintf(w, "%-5s %12s %14s %12v %12v %12v\n",
 		"total", "", "",
 		round(s.Total.FindMin), round(s.Total.ConnectComponents), round(s.Total.CompactGraph))
+	return err
+}
+
+// CASHook writes a summary of a Bor-CAS run: bucket shape and the three
+// phase wall times.
+func CASHook(w io.Writer, s *cashook.Stats) error {
+	_, err := fmt.Fprintf(w,
+		"%s, p=%d: %d weight bucket(s), max %d edge(s), %d hooked on the team\n  sort %v  hook %v  collect %v\n",
+		s.Algorithm, s.Workers, s.Buckets, s.MaxBucket, s.ParallelBuckets,
+		round(s.Sort), round(s.Hook), round(s.Collect))
 	return err
 }
 

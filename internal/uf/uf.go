@@ -116,6 +116,46 @@ func (c *Concurrent) Union(x, y int32) bool {
 	}
 }
 
+// NoEdge is the empty value of a CAS-hook slot: the vertex has not yet
+// been linked under another root by UnionEdge.
+const NoEdge int32 = -1
+
+// UnionEdge merges the sets containing x and y like Union, but follows
+// the GBBS nd.h CAS-hook protocol so the winning edge is recorded: the
+// root r that is about to be linked is first claimed by a CompareAndSwap
+// of id into hooks[r] (initialized to NoEdge), and only the winner of
+// that CAS performs the parent link. Because a root can only stop being
+// a root through its hook winner, the subsequent parent store cannot
+// race with another link of r, and each vertex hooks at most one edge
+// for the whole run — the non-NoEdge entries of hooks at quiescence are
+// exactly the ids of a spanning forest of the edges passed in.
+//
+// All unions on one Concurrent must go through the same protocol: mixing
+// UnionEdge and plain Union calls voids the single-linker guarantee.
+//
+//msf:atomic hooks
+func (c *Concurrent) UnionEdge(x, y, id int32, hooks []int32) bool {
+	for {
+		rx := c.Find(x)
+		ry := c.Find(y)
+		if rx == ry {
+			return false
+		}
+		if rx > ry {
+			rx, ry = ry, rx
+		}
+		// Claim the larger root ry by hooking the edge id into its slot;
+		// the winner (and only the winner) links ry under rx. Losers loop:
+		// either ry is mid-link (Find will soon see the new parent) or a
+		// different interleaving produced fresh roots.
+		if atomic.LoadInt32(&hooks[ry]) == NoEdge &&
+			atomic.CompareAndSwapInt32(&hooks[ry], NoEdge, id) {
+			c.parent[ry].Store(rx)
+			return true
+		}
+	}
+}
+
 // Same reports whether x and y are currently in one set. In the presence
 // of concurrent unions the answer is only advisory; callers in this
 // library invoke it after all unions have completed.

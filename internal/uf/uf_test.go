@@ -129,6 +129,94 @@ func TestConcurrentSame(t *testing.T) {
 	}
 }
 
+func newHooks(n int) []int32 {
+	hooks := make([]int32, n)
+	for i := range hooks {
+		hooks[i] = NoEdge
+	}
+	return hooks
+}
+
+func TestUnionEdgeSequential(t *testing.T) {
+	c := NewConcurrent(4)
+	hooks := newHooks(4)
+	if !c.UnionEdge(0, 1, 7, hooks) {
+		t.Fatal("first union failed")
+	}
+	if c.UnionEdge(1, 0, 8, hooks) {
+		t.Fatal("repeat union succeeded")
+	}
+	if !c.UnionEdge(2, 3, 9, hooks) || !c.UnionEdge(0, 3, 10, hooks) {
+		t.Fatal("unions failed")
+	}
+	// Exactly three hooks claimed, carrying the successful edge ids.
+	var got []int32
+	for _, h := range hooks {
+		if h != NoEdge {
+			got = append(got, h)
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("%d hooks claimed, want 3 (%v)", len(got), hooks)
+	}
+	seen := map[int32]bool{7: false, 9: false, 10: false}
+	for _, id := range got {
+		if _, ok := seen[id]; !ok {
+			t.Fatalf("hook carries unexpected edge id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestUnionEdgeConcurrentForest(t *testing.T) {
+	// Hammer UnionEdge from 8 workers (run with -race): at quiescence the
+	// claimed hooks must number exactly n - components, and replaying the
+	// hooked edges through a sequential union-find must reproduce the same
+	// partition without ever closing a cycle.
+	const n = 2000
+	r := rng.New(3)
+	type edge struct{ a, b, id int32 }
+	edges := make([]edge, 6000)
+	for i := range edges {
+		edges[i] = edge{int32(r.Intn(n)), int32(r.Intn(n)), int32(i)}
+	}
+	for _, workers := range []int{1, 2, 8} {
+		con := NewConcurrent(n)
+		hooks := newHooks(n)
+		par.For(workers, len(edges), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := edges[i]
+				if e.a == e.b {
+					continue
+				}
+				con.UnionEdge(e.a, e.b, e.id, hooks)
+			}
+		})
+		seq := New(n)
+		claimed := 0
+		for _, id := range hooks {
+			if id == NoEdge {
+				continue
+			}
+			claimed++
+			e := edges[id]
+			if !seq.Union(e.a, e.b) {
+				t.Fatalf("workers=%d: hooked edge %d (%d-%d) closes a cycle", workers, id, e.a, e.b)
+			}
+		}
+		if claimed != n-seq.Count() {
+			t.Fatalf("workers=%d: %d hooks claimed, want %d", workers, claimed, n-seq.Count())
+		}
+		sigSeq := partitionSignature(seq.Find, n)
+		sigCon := partitionSignature(con.Find, n)
+		for i := range sigSeq {
+			if sigSeq[i] != sigCon[i] {
+				t.Fatalf("workers=%d: hooked forest partition differs at element %d", workers, i)
+			}
+		}
+	}
+}
+
 func TestConcurrentStress(t *testing.T) {
 	// Heavy contention on a small element set; run with -race.
 	const n = 64

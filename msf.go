@@ -24,12 +24,14 @@ import (
 	"strings"
 
 	"pmsf/internal/boruvka"
+	"pmsf/internal/cashook"
 	"pmsf/internal/filter"
 	"pmsf/internal/graph"
 	"pmsf/internal/mstbc"
 	"pmsf/internal/obs"
 	"pmsf/internal/seq"
 	"pmsf/internal/verify"
+	"pmsf/internal/writemin"
 )
 
 // Edge is one undirected edge: endpoints in [0, N) and a weight.
@@ -109,6 +111,18 @@ const (
 	// with Bor-FAL, discard F-heavy edges via parallel path-maximum
 	// queries, and finish on the (expected O(n)-edge) remainder.
 	Filter
+	// BorCAS is the lock-free CAS-hook engine (GBBS nd.h style): one
+	// setup sort by (weight, id), then equal-weight buckets processed in
+	// increasing order, every edge of a bucket racing through the
+	// concurrent union-find's CAS-hook protocol. No round loop over the
+	// graph at all.
+	BorCAS
+	// BorWM is the write-min filter-Borůvka engine (parlaylib style):
+	// find-min is a concurrent CAS write-min race on per-vertex packed
+	// (rank, index) keys, and compact-graph degenerates to a relabel plus
+	// self-edge filter — no sort and no duplicate merge inside the round
+	// loop.
+	BorWM
 	// SeqPrim is sequential Prim's algorithm with a binary heap.
 	SeqPrim
 	// SeqKruskal is sequential Kruskal's algorithm with a non-recursive
@@ -133,6 +147,10 @@ func (a Algorithm) String() string {
 		return "MST-BC"
 	case Filter:
 		return "Filter"
+	case BorCAS:
+		return "Bor-CAS"
+	case BorWM:
+		return "Bor-WM"
 	case SeqPrim:
 		return "Prim"
 	case SeqKruskal:
@@ -145,16 +163,16 @@ func (a Algorithm) String() string {
 
 // Algorithms lists every implementation, parallel first.
 func Algorithms() []Algorithm {
-	return []Algorithm{BorEL, BorAL, BorALM, BorFAL, MSTBC, Filter, SeqPrim, SeqKruskal, SeqBoruvka}
+	return []Algorithm{BorEL, BorAL, BorALM, BorFAL, MSTBC, Filter, BorCAS, BorWM, SeqPrim, SeqKruskal, SeqBoruvka}
 }
 
-// ParallelAlgorithms lists the five parallel implementations.
+// ParallelAlgorithms lists the eight parallel implementations.
 func ParallelAlgorithms() []Algorithm {
-	return []Algorithm{BorEL, BorAL, BorALM, BorFAL, MSTBC, Filter}
+	return []Algorithm{BorEL, BorAL, BorALM, BorFAL, MSTBC, Filter, BorCAS, BorWM}
 }
 
 // Parallel reports whether the algorithm uses multiple workers.
-func (a Algorithm) Parallel() bool { return a <= Filter }
+func (a Algorithm) Parallel() bool { return a <= BorWM }
 
 // ParseAlgorithm resolves a paper-style name ("Bor-FAL", case
 // insensitive, '-' optional) to an Algorithm.
@@ -229,12 +247,18 @@ type Options struct {
 	SortEngine SortEngine
 }
 
+// CASHookStats is the instrumentation of the Bor-CAS engine (bucket
+// counts and phase wall times).
+type CASHookStats = cashook.Stats
+
 // Stats carries optional instrumentation; at most one field is non-nil,
-// matching the algorithm family that ran.
+// matching the algorithm family that ran. Bor-WM reports through Boruvka:
+// it shares the round-loop step schema.
 type Stats struct {
 	Boruvka *BoruvkaStats
 	MSTBC   *MSTBCStats
 	Filter  *FilterStats
+	CASHook *CASHookStats
 }
 
 // MinimumSpanningForest computes the MSF of g with the chosen algorithm.
@@ -285,6 +309,18 @@ func MinimumSpanningForest(g *Graph, algo Algorithm, opt Options) (*Forest, *Sta
 			Workers: opt.Workers, Seed: opt.Seed, Stats: opt.CollectStats, Trace: opt.Trace,
 		})
 		stats.Filter = s
+		return f, stats, nil
+	case BorCAS:
+		f, s := cashook.Run(g, cashook.Options{
+			Workers: opt.Workers, Stats: opt.CollectStats, Seed: opt.Seed, Trace: opt.Trace,
+		})
+		stats.CASHook = s
+		return f, stats, nil
+	case BorWM:
+		f, s := writemin.Run(g, writemin.Options{
+			Workers: opt.Workers, Stats: opt.CollectStats, Seed: opt.Seed, Trace: opt.Trace,
+		})
+		stats.Boruvka = s
 		return f, stats, nil
 	case SeqPrim:
 		return seq.Prim(g), stats, nil

@@ -164,7 +164,7 @@ func TestParseAlgorithmRoundTrip(t *testing.T) {
 }
 
 func TestAlgorithmMetadata(t *testing.T) {
-	if len(pmsf.Algorithms()) != 9 || len(pmsf.ParallelAlgorithms()) != 6 {
+	if len(pmsf.Algorithms()) != 11 || len(pmsf.ParallelAlgorithms()) != 8 {
 		t.Fatal("algorithm lists wrong")
 	}
 	for _, a := range pmsf.ParallelAlgorithms() {
