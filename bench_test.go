@@ -9,6 +9,7 @@ package pmsf
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -524,5 +525,33 @@ func BenchmarkCompactGraphEngines(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkCompactScaling is the p-scaling view of the packed-key
+// parallel radix compactor alone: the same uniform working list at
+// p = 1, 2, 4, with the runtime's actual parallelism budget reported
+// per entry so a run on a starved scheduler is visible in the output
+// (gomaxprocs/numcpu metrics) rather than masquerading as a scaling
+// measurement. cmd/benchguard runs the bench.CompactScalingBench twin
+// of this as a hard CI gate.
+func BenchmarkCompactScaling(b *testing.B) {
+	base := randomGraph(6)
+	edges := graph.DirectedWorkList(base)
+	n := base.N
+	for _, p := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			work := make([]graph.WEdge, len(edges))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				copy(work, edges)
+				b.StartTimer()
+				boruvka.CompactWorkListWith(boruvka.SortParallelRadix, p, work, n, 1)
+			}
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			b.ReportMetric(float64(runtime.NumCPU()), "numcpu")
+		})
 	}
 }

@@ -1,6 +1,6 @@
 // Command benchguard is the perf guard for the compact-graph kernel: it
 // re-runs the engine study and compares it against the committed
-// baseline (results/BENCH_PR2.json).
+// baseline (results/BENCH_PR7.json).
 //
 // The primary signal is dimensionless and therefore machine- and
 // scale-independent: the speedup of the packed-key parallel radix
@@ -18,16 +18,33 @@
 // ns/op drifts are compared with the same two tiers. The fresh report
 // can be written with -out for archival (the CI bench artifact).
 //
-// Baselines carrying MSF engine-matrix rows (results/BENCH_PR6.json)
-// additionally get per-(family, p) speedup checks of the lock-free
-// engines over Bor-EL; those rows are always warn-only — end-to-end
-// engine times are noisier than the isolated kernel. -warnonly demotes
-// every hard failure to a warning (exit 0), for advisory CI steps.
+// Two honesty rules guard the guard itself:
+//
+//   - a baseline whose recorded workers exceed its recorded GOMAXPROCS
+//     is rejected outright: such a file (BENCH_PR2.json was one) was
+//     measured on a scheduler that could never run the workers it
+//     claims, so every "scaling" number in it is an artifact;
+//   - on baselines and fresh runs recorded with at least 4 CPUs, the
+//     packed-radix compactor at p=4 must be strictly faster than p=1
+//     on every uniform compaction of >= 2.4M elements (hard fail). On
+//     narrower machines the gate reports itself skipped, loudly.
+//
+// -scaling replaces the full study with the dedicated scaling slice
+// (bench.CompactScalingBench at p = 1 and 4) and applies only the
+// speedup gate to the fresh numbers — the CI compact-scaling smoke
+// step.
+//
+// Baselines carrying MSF engine-matrix rows additionally get
+// per-(family, p) speedup checks of the lock-free engines over Bor-EL;
+// those rows are always warn-only — end-to-end engine times are
+// noisier than the isolated kernel. -warnonly demotes every hard
+// failure to a warning (exit 0), for advisory CI steps.
 //
 // Usage:
 //
-//	benchguard [-baseline results/BENCH_PR2.json] [-scale small]
-//	           [-threshold 1.3] [-fail 2.0] [-out fresh.json] [-warnonly]
+//	benchguard [-baseline results/BENCH_PR7.json] [-scale small]
+//	           [-threshold 1.3] [-fail 2.0] [-out fresh.json]
+//	           [-seed 42] [-warnonly] [-scaling]
 package main
 
 import (
@@ -35,29 +52,51 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"pmsf/internal/bench"
 )
 
+// scalingMinElements is the workload size above which the p=4-beats-p=1
+// gate applies: the 2.4M-element uniform compaction of the medium scale.
+const scalingMinElements = 2_400_000
+
+// scalingMinCPUs is the parallelism the scaling gate needs to be
+// meaningful; below it the gate reports itself skipped.
+const scalingMinCPUs = 4
+
 func main() {
-	baselinePath := flag.String("baseline", "results/BENCH_PR2.json", "committed baseline report")
+	baselinePath := flag.String("baseline", "results/BENCH_PR7.json", "committed baseline report")
 	scaleFlag := flag.String("scale", "small", "scale for the fresh run: small, medium or paper")
 	threshold := flag.Float64("threshold", 1.3, "warn when a ratio degrades by more than this factor")
 	failAt := flag.Float64("fail", 2.0, "exit 1 when a ratio degrades by more than this factor")
 	outPath := flag.String("out", "", "write the fresh report as JSON to this path")
+	seed := flag.Uint64("seed", 0, "override the input seed (0: use the baseline's)")
 	warnOnly := flag.Bool("warnonly", false, "demote hard failures to warnings (always exit 0)")
+	scaling := flag.Bool("scaling", false, "run only the fresh compact-scaling gate (no baseline comparison)")
 	flag.Parse()
+
+	scale, err := bench.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if *scaling {
+		os.Exit(runScalingGate(scale, *seed, *outPath, *warnOnly))
+	}
 
 	base, err := loadBaseline(*baselinePath)
 	if err != nil {
 		fatal(err)
 	}
-	scale, err := bench.ParseScale(*scaleFlag)
-	if err != nil {
-		fatal(err)
+	if err := validateProcs(base); err != nil {
+		fatal(fmt.Errorf("baseline %s: %w", *baselinePath, err))
 	}
-	cfg := bench.Config{Scale: scale, Seed: base.Seed, Workers: workerSet(base)}
+	cfgSeed := base.Seed
+	if *seed != 0 {
+		cfgSeed = *seed
+	}
+	cfg := bench.Config{Scale: scale, Seed: cfgSeed, Workers: capWorkers(workerSet(base))}
 	fresh := bench.CompactBench(cfg)
 	if len(base.Engines) > 0 {
 		fresh.EngineBaseline = base.EngineBaseline
@@ -79,6 +118,10 @@ func main() {
 		fmt.Printf("note: fresh run at scale %s, baseline at %s; absolute ns/op not compared\n",
 			fresh.Scale, base.Scale)
 	}
+	// The scaling gate runs against both the committed numbers and the
+	// fresh run, when their workloads are big enough to qualify.
+	fails += checkScaling(base, "baseline")
+	fails += checkScaling(fresh, "fresh run")
 	if len(base.Engines) > 0 {
 		warns += compareEngines(base, fresh, *threshold)
 	}
@@ -88,14 +131,150 @@ func main() {
 	}
 	switch {
 	case fails > 0:
-		fmt.Printf("benchguard: %d hard regression(s) beyond %.1fx (and %d warning(s))\n",
-			fails, *failAt, warns)
+		fmt.Printf("benchguard: %d hard failure(s) (and %d warning(s))\n", fails, warns)
 		os.Exit(1)
 	case warns > 0:
 		fmt.Printf("benchguard: %d warning(s) — investigate before trusting the perf numbers\n", warns)
 	default:
 		fmt.Println("benchguard: no regressions beyond threshold")
 	}
+}
+
+// runScalingGate runs the fresh compact-scaling slice at p = 1 and 4
+// and applies the p=4-beats-p=1 gate to it. Returns the process exit
+// code.
+func runScalingGate(scale bench.Scale, seed uint64, outPath string, warnOnly bool) int {
+	if seed == 0 {
+		seed = 42
+	}
+	cfg := bench.Config{Scale: scale, Seed: seed, Workers: []int{1, scalingMinCPUs}}
+	if runtime.GOMAXPROCS(0) < scalingMinCPUs {
+		fmt.Printf("benchguard: SCALING GATE SKIPPED: GOMAXPROCS=%d < %d — this machine cannot measure p=%d scaling; run on a wider machine to enforce the gate\n",
+			runtime.GOMAXPROCS(0), scalingMinCPUs, scalingMinCPUs)
+		return 0
+	}
+	fresh := bench.CompactScalingBench(cfg)
+	if outPath != "" {
+		if err := writeReport(outPath, fresh); err != nil {
+			fatal(err)
+		}
+	}
+	qualifying := 0
+	for _, e := range fresh.Entries {
+		if e.Elements >= scalingMinElements {
+			qualifying++
+		}
+	}
+	if qualifying == 0 {
+		fatal(fmt.Errorf("scaling gate: scale %s yields %d elements, below the %d-element floor — use -scale medium or larger",
+			fresh.Scale, fresh.Entries[0].Elements, scalingMinElements))
+	}
+	fails := checkScaling(fresh, "fresh scaling run")
+	if warnOnly && fails > 0 {
+		fmt.Printf("note: -warnonly, demoting %d hard failure(s) to warnings\n", fails)
+		fails = 0
+	}
+	if fails > 0 {
+		fmt.Printf("benchguard: %d scaling failure(s)\n", fails)
+		return 1
+	}
+	fmt.Println("benchguard: scaling gate passed")
+	return 0
+}
+
+// entryProcs returns the parallelism budget recorded for one entry,
+// falling back to the report-level field for files written before the
+// per-entry fields existed.
+func entryProcs(rep *bench.CompactBenchReport, e bench.CompactBenchEntry) (gomaxprocs, numcpu int) {
+	gomaxprocs, numcpu = e.GoMaxProcs, e.NumCPU
+	if gomaxprocs == 0 {
+		gomaxprocs = rep.GoMaxProcs
+	}
+	if numcpu == 0 {
+		numcpu = rep.NumCPU
+	}
+	return gomaxprocs, numcpu
+}
+
+// validateProcs rejects reports whose measured worker counts exceed the
+// GOMAXPROCS they were recorded under: those "parallel" entries ran
+// time-sliced on too few scheduler slots and measure nothing but
+// context-switch overhead.
+func validateProcs(rep *bench.CompactBenchReport) error {
+	for _, e := range rep.Entries {
+		gmp, _ := entryProcs(rep, e)
+		if gmp > 0 && e.Workers > gmp {
+			return fmt.Errorf("entry %s/%s/p=%d was recorded with GOMAXPROCS=%d: workers exceed the scheduler slots, so its scaling numbers are artifacts; re-record on a machine with >= %d procs",
+				e.Workload, e.Engine, e.Workers, gmp, e.Workers)
+		}
+	}
+	return nil
+}
+
+// capWorkers drops worker counts above the live GOMAXPROCS from the
+// fresh-run set, so this run never produces the kind of oversubscribed
+// artifact validateProcs rejects.
+func capWorkers(ws []int) []int {
+	gmp := runtime.GOMAXPROCS(0)
+	var out []int
+	for _, p := range ws {
+		if p <= gmp {
+			out = append(out, p)
+		}
+	}
+	if len(out) < len(ws) {
+		fmt.Printf("note: GOMAXPROCS=%d, dropping baseline worker counts above it: measuring them would oversubscribe\n", gmp)
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}
+
+// checkScaling applies the hard scaling gate to one report: on every
+// qualifying workload (packed-radix candidate, uniform, >= 2.4M
+// elements) measured with >= 4 CPUs, p=4 must be strictly faster than
+// p=1. Reports measured on narrower machines are loudly skipped rather
+// than silently passed.
+func checkScaling(rep *bench.CompactBenchReport, label string) (fails int) {
+	type pair struct{ p1, p4 bench.CompactBenchEntry }
+	byWorkload := map[string]*pair{}
+	for _, e := range rep.Entries {
+		if e.Engine != "parallel-radix" || e.Workload != "uniform" || e.Elements < scalingMinElements {
+			continue
+		}
+		pr := byWorkload[e.Workload]
+		if pr == nil {
+			pr = &pair{}
+			byWorkload[e.Workload] = pr
+		}
+		switch e.Workers {
+		case 1:
+			pr.p1 = e
+		case scalingMinCPUs:
+			pr.p4 = e
+		}
+	}
+	for workload, pr := range byWorkload {
+		if pr.p1.NsPerOp == 0 || pr.p4.NsPerOp == 0 {
+			continue
+		}
+		_, ncpu := entryProcs(rep, pr.p4)
+		if ncpu > 0 && ncpu < scalingMinCPUs {
+			fmt.Printf("note: SCALING GATE SKIPPED for %s (%s, %d elements): recorded on %d CPU(s); p=%d vs p=1 is meaningless there\n",
+				label, workload, pr.p4.Elements, ncpu, scalingMinCPUs)
+			continue
+		}
+		speedup := float64(pr.p1.NsPerOp) / float64(pr.p4.NsPerOp)
+		line := fmt.Sprintf("scaling gate (%s): %s %d elements, p=1 %dns -> p=%d %dns (%.2fx)",
+			label, workload, pr.p4.Elements, pr.p1.NsPerOp, scalingMinCPUs, pr.p4.NsPerOp, speedup)
+		if pr.p4.NsPerOp >= pr.p1.NsPerOp {
+			line += "   FAIL: parallel compaction must beat serial at this scale"
+			fails++
+		}
+		fmt.Println(line)
+	}
+	return fails
 }
 
 func loadBaseline(path string) (*bench.CompactBenchReport, error) {

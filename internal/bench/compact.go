@@ -55,13 +55,19 @@ func buildCompactInput(scale Scale, seed uint64, w compactWorkload) ([]graph.WEd
 }
 
 // CompactBenchEntry is one engine × workers × workload measurement.
+// GoMaxProcs and NumCPU record the runtime's actual parallelism budget
+// at measurement time, so a result file can never again silently claim
+// p-worker scaling measured on a one-slot scheduler (the BENCH_PR2.json
+// artifact): benchguard rejects files whose workers exceed them.
 type CompactBenchEntry struct {
-	Engine   string `json:"engine"`
-	Workers  int    `json:"workers"`
-	Workload string `json:"workload"`
-	N        int    `json:"n"`
-	Elements int    `json:"elements"`
-	NsPerOp  int64  `json:"ns_per_op"`
+	Engine     string `json:"engine"`
+	Workers    int    `json:"workers"`
+	Workload   string `json:"workload"`
+	N          int    `json:"n"`
+	Elements   int    `json:"elements"`
+	NsPerOp    int64  `json:"ns_per_op"`
+	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
+	NumCPU     int    `json:"numcpu,omitempty"`
 }
 
 // CompactBenchReport is the machine-readable artifact of the engine
@@ -71,6 +77,7 @@ type CompactBenchReport struct {
 	Scale      string              `json:"scale"`
 	Seed       uint64              `json:"seed"`
 	GoMaxProcs int                 `json:"gomaxprocs"`
+	NumCPU     int                 `json:"numcpu,omitempty"`
 	Baseline   string              `json:"baseline_engine"`
 	Candidate  string              `json:"candidate_engine"`
 	Entries    []CompactBenchEntry `json:"entries"`
@@ -118,6 +125,7 @@ func CompactBench(cfg Config) *CompactBenchReport {
 		Scale:      cfg.Scale.String(),
 		Seed:       cfg.Seed,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Baseline:   boruvka.SortSampleSort.String(),
 		Candidate:  boruvka.SortParallelRadix.String(),
 	}
@@ -131,15 +139,53 @@ func CompactBench(cfg Config) *CompactBenchReport {
 			for _, p := range cfg.workers() {
 				d := timeCompact(engine, p, edges, n, cfg.Seed, reps)
 				rep.Entries = append(rep.Entries, CompactBenchEntry{
-					Engine:   engine.String(),
-					Workers:  p,
-					Workload: w.name,
-					N:        n,
-					Elements: len(edges),
-					NsPerOp:  d.Nanoseconds(),
+					Engine:     engine.String(),
+					Workers:    p,
+					Workload:   w.name,
+					N:          n,
+					Elements:   len(edges),
+					NsPerOp:    d.Nanoseconds(),
+					GoMaxProcs: runtime.GOMAXPROCS(0),
+					NumCPU:     runtime.NumCPU(),
 				})
 			}
 		}
+	}
+	return rep
+}
+
+// CompactScalingBench is the scaling-focused slice of the engine study:
+// only the packed-key parallel radix compactor, only the uniform
+// workload, across cfg's worker counts. It is what the benchguard
+// -scaling gate runs fresh in CI to enforce that p = 4 beats p = 1 on
+// the 2.4M-element compaction.
+func CompactScalingBench(cfg Config) *CompactBenchReport {
+	rep := &CompactBenchReport{
+		Scale:      cfg.Scale.String(),
+		Seed:       cfg.Seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Baseline:   boruvka.SortParallelRadix.String(),
+		Candidate:  boruvka.SortParallelRadix.String(),
+	}
+	reps := 3
+	if cfg.Scale >= Paper {
+		reps = 1
+	}
+	w := compactWorkloads()[0] // uniform
+	edges, n := buildCompactInput(cfg.Scale, cfg.Seed, w)
+	for _, p := range cfg.workers() {
+		d := timeCompact(boruvka.SortParallelRadix, p, edges, n, cfg.Seed, reps)
+		rep.Entries = append(rep.Entries, CompactBenchEntry{
+			Engine:     boruvka.SortParallelRadix.String(),
+			Workers:    p,
+			Workload:   w.name,
+			N:          n,
+			Elements:   len(edges),
+			NsPerOp:    d.Nanoseconds(),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+		})
 	}
 	return rep
 }

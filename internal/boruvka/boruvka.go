@@ -243,6 +243,16 @@ func contracted(k int) {
 	}
 }
 
+// boolArg renders a bool as a 0/1 span attribute.
+//
+//msf:noalloc
+func boolArg(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // harvest appends to ids the edge selected by each supervertex that found
 // an outgoing minimum edge, deduplicating the mutual-pair case (when u
 // and v select the same edge, the smaller endpoint owns it). parent must

@@ -69,6 +69,7 @@ func (ws *Workspace) harvest(n int) {
 	ws.n = n
 	ws.team.Run(ws.harvestCountBody)
 	total := int64(ws.idsLen)
+	// O(p) coordinator scan, serial by design (see par/scan.go).
 	for w := 0; w < ws.p; w++ {
 		v := ws.wcount[w]
 		ws.wcount[w] = total

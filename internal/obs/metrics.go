@@ -201,6 +201,14 @@ var (
 	// RadixPasses counts counting-sort passes executed by the packed-key
 	// parallel radix compaction kernel.
 	RadixPasses = Default().Counter("radix_passes")
+	// ParScans counts team-parallel prefix-sum phases executed by
+	// par.Scanner (the sequential small-input fallback is not counted,
+	// so the ratio to RadixPasses shows which scan strategy ran).
+	ParScans = Default().Counter("par_scans")
+	// ScatterFlushes counts write-combining staging-buffer flushes of
+	// the packed-radix scatter (full-buffer bulk copies plus the
+	// end-of-pass drains).
+	ScatterFlushes = Default().Counter("scatter_flushes")
 	// WorkspaceReused counts bytes served from reusable round workspaces
 	// (double-buffered edge arrays, keepIdx/starts/histogram slabs)
 	// instead of fresh heap allocations.

@@ -1,0 +1,166 @@
+package par
+
+import (
+	"testing"
+
+	"pmsf/internal/rng"
+)
+
+// The Scanner tests exercise both strategies of every method: the
+// sequential small-input fallback as-is, and the team-parallel path by
+// lowering seqCutoff to 1 so even tiny inputs (including p > len(a))
+// take the barrier-and-partial-sums route.
+
+func naiveExclusiveSum(a []int64) int64 {
+	var sum int64
+	for i, v := range a {
+		a[i] = sum
+		sum += v
+	}
+	return sum
+}
+
+func naiveTransposedSum(a []int32, rows, cols int) int64 {
+	var sum int32
+	for d := 0; d < cols; d++ {
+		for r := 0; r < rows; r++ {
+			i := r*cols + d
+			v := a[i]
+			a[i] = sum
+			sum += v
+		}
+	}
+	return int64(sum)
+}
+
+func naiveBackfill(a []int64) {
+	for i := len(a) - 2; i >= 0; i-- {
+		if a[i] < 0 {
+			a[i] = a[i+1]
+		}
+	}
+}
+
+func scannerForTest(t *testing.T, p int, forcePar bool) (*Scanner, func()) {
+	t.Helper()
+	team := NewTeam(p)
+	s := NewScanner(p, team)
+	if forcePar {
+		s.seqCutoff = 1
+	}
+	return s, team.Close
+}
+
+func TestScannerExclusiveSum(t *testing.T) {
+	r := rng.New(7)
+	for _, p := range []int{1, 2, 3, 8} {
+		for _, forcePar := range []bool{false, true} {
+			s, done := scannerForTest(t, p, forcePar)
+			// Sizes below, at, and above the worker count, plus large.
+			for _, n := range []int{0, 1, 2, p - 1, p, p + 1, 100, 5000} {
+				if n < 0 {
+					continue
+				}
+				a := make([]int64, n)
+				b := make([]int64, n)
+				for i := range a {
+					a[i] = int64(r.Intn(1000)) - 500
+					b[i] = a[i]
+				}
+				wantTotal := naiveExclusiveSum(a)
+				gotTotal := s.ExclusiveSum(b)
+				if gotTotal != wantTotal {
+					t.Fatalf("p=%d force=%v n=%d: total %d, want %d", p, forcePar, n, gotTotal, wantTotal)
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("p=%d force=%v n=%d: scan[%d]=%d, want %d", p, forcePar, n, i, b[i], a[i])
+					}
+				}
+				wantPar := p > 1 && (forcePar || n >= scannerSeqCutoff)
+				if n > 0 && s.LastParallel != wantPar {
+					t.Fatalf("p=%d force=%v n=%d: LastParallel=%v, want %v", p, forcePar, n, s.LastParallel, wantPar)
+				}
+			}
+			done()
+		}
+	}
+}
+
+func TestScannerTransposedExclusiveSum(t *testing.T) {
+	r := rng.New(8)
+	for _, p := range []int{1, 3, 8} {
+		for _, forcePar := range []bool{false, true} {
+			s, done := scannerForTest(t, p, forcePar)
+			for _, rows := range []int{1, 2, p, 8} {
+				// Cols below p covers the p > work edge of the column split.
+				for _, cols := range []int{1, 2, p - 1, 64, 300} {
+					if cols < 1 {
+						continue
+					}
+					a := make([]int32, rows*cols)
+					b := make([]int32, rows*cols)
+					for i := range a {
+						a[i] = int32(r.Intn(100))
+					}
+					copy(b, a)
+					wantTotal := naiveTransposedSum(a, rows, cols)
+					gotTotal := s.TransposedExclusiveSum(b, rows, cols)
+					if gotTotal != wantTotal {
+						t.Fatalf("p=%d force=%v %dx%d: total %d, want %d", p, forcePar, rows, cols, gotTotal, wantTotal)
+					}
+					for i := range a {
+						if a[i] != b[i] {
+							t.Fatalf("p=%d force=%v %dx%d: [%d]=%d, want %d", p, forcePar, rows, cols, i, b[i], a[i])
+						}
+					}
+				}
+			}
+			done()
+		}
+	}
+}
+
+func TestScannerBackfillNegative(t *testing.T) {
+	r := rng.New(9)
+	for _, p := range []int{1, 2, 3, 8} {
+		for _, forcePar := range []bool{false, true} {
+			s, done := scannerForTest(t, p, forcePar)
+			for _, n := range []int{1, 2, p, p + 1, 100, 5000} {
+				a := make([]int64, n)
+				for i := range a {
+					if r.Intn(3) == 0 {
+						a[i] = int64(r.Intn(1000))
+					} else {
+						a[i] = -1
+					}
+				}
+				// The contract: the last element (the starts sentinel) is
+				// non-negative.
+				a[n-1] = int64(r.Intn(1000))
+				b := append([]int64(nil), a...)
+				naiveBackfill(a)
+				s.BackfillNegative(b)
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("p=%d force=%v n=%d: [%d]=%d, want %d", p, forcePar, n, i, b[i], a[i])
+					}
+				}
+			}
+			// All-negative prefix: every slot inherits the sentinel.
+			a := make([]int64, 64)
+			for i := range a {
+				a[i] = -1
+			}
+			a[63] = 42
+			s.BackfillNegative(a)
+			for i, v := range a {
+				if v != 42 {
+					t.Fatalf("p=%d force=%v: all-neg [%d]=%d, want 42", p, forcePar, i, v)
+				}
+			}
+			s.BackfillNegative(nil)
+			done()
+		}
+	}
+}

@@ -289,6 +289,10 @@ func picked(parent []int32, v int) bool {
 func (r *run) harvest() {
 	r.team.Run(r.harvestCountBody)
 	total := int64(r.idsLen)
+	// O(p) coordinator scan over per-worker counters: serial by design
+	// (see the scan taxonomy in par/scan.go) — unlike the Θ(nd·p)
+	// histogram scans par.Scanner parallelizes, p adds cost less here
+	// than one team barrier would.
 	for w := 0; w < r.p; w++ {
 		v := r.wcount[w]
 		r.wcount[w] = total
@@ -339,6 +343,7 @@ func (r *run) connectPhase() {
 func (r *run) compactPhase() {
 	r.team.Run(r.filterCountBody)
 	var total int64
+	// O(p) coordinator scan, serial by design (see par/scan.go).
 	for w := 0; w < r.p; w++ {
 		v := r.wcount[w]
 		r.wcount[w] = total
