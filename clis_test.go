@@ -44,9 +44,16 @@ func TestCLIPipeline(t *testing.T) {
 		t.Fatalf("msf output missing sections:\n%s", out)
 	}
 
-	out = run(t, bin("msf-verify"), graphPath, forestPath)
-	if !strings.Contains(out, "OK:") {
+	out = run(t, bin("msf-verify"), "-algo", "Kruskal", "-p", "2", graphPath, forestPath)
+	if !strings.Contains(out, "OK:") || !strings.Contains(out, "Kruskal agrees") {
 		t.Fatalf("msf-verify did not confirm:\n%s", out)
+	}
+
+	// The -algo dispatch is enumeration-driven: an engine outside
+	// pmsf.Algorithms() must be refused with the catalog in the message.
+	cmdBad := exec.Command(bin("msf-verify"), "-algo", "dijkstra", graphPath, forestPath)
+	if out, err := cmdBad.CombinedOutput(); err == nil || !strings.Contains(string(out), "Bor-EL") {
+		t.Fatalf("unknown -algo not refused with catalog: %v\n%s", err, out)
 	}
 
 	// Cross-format: DIMACS round trip through the tools.

@@ -25,9 +25,30 @@ import (
 	"strconv"
 	"strings"
 
+	"pmsf"
 	"pmsf/internal/bench"
 	"pmsf/internal/report"
 )
+
+// algoNames renders the canonical engine list for flag help —
+// pmsf.Algorithms() is the single source of truth, so a new engine
+// shows up here without touching this file.
+func algoNames() string {
+	names := make([]string, 0, len(pmsf.Algorithms()))
+	for _, a := range pmsf.Algorithms() {
+		names = append(names, a.String())
+	}
+	return strings.Join(names, ", ")
+}
+
+// sortNames renders the compact-graph engine list for flag help.
+func sortNames() string {
+	names := make([]string, 0, len(pmsf.SortEngines()))
+	for _, e := range pmsf.SortEngines() {
+		names = append(names, e.String())
+	}
+	return strings.Join(names, ", ")
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (all, "+strings.Join(bench.ExperimentIDs(), ", ")+")")
@@ -37,10 +58,10 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	jsonFlag := flag.Bool("json", false, "emit JSON instead of aligned text")
 	outDir := flag.String("o", "", "also write each table to <dir>/<table id>.{txt,csv}")
-	algoFlag := flag.String("algo", "", "run one algorithm with span tracing instead of the experiment suite")
+	algoFlag := flag.String("algo", "", "run one algorithm with span tracing instead of the experiment suite ("+algoNames()+")")
 	traceOut := flag.String("trace", "", "with -algo: write a Chrome trace-event JSON file to this path")
 	metricsFlag := flag.Bool("metrics", false, "with -algo: enable process-wide counters and print the run summary")
-	sortFlag := flag.String("sort", "", "Bor-EL compact-graph engine: parallel-radix (default), sample-sort, parallel-merge, radix")
+	sortFlag := flag.String("sort", "", "Bor-EL compact-graph engine ("+sortNames()+"; default parallel-radix)")
 	benchJSON := flag.String("benchjson", "", "run the compact-graph engine study and write machine-readable results to this path (e.g. results/BENCH_PR2.json)")
 	flag.Parse()
 

@@ -1,0 +1,104 @@
+// Command msf-serve runs the MSF library as a long-running HTTP+JSON
+// service: upload graphs once, query them many times with any engine,
+// and read live metrics. See docs/SERVICE.md for the API reference.
+//
+// Usage:
+//
+//	msf-serve [-addr :8080] [-workers K] [-queue-depth N]
+//	          [-cache-entries N] [-registry-cap-mb N] [-max-upload-mb N]
+//	          [-rate N] [-burst N] [-drain-timeout 30s]
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: new admissions are
+// refused (503), queued jobs are canceled, and in-flight engine runs
+// finish (their synchronous clients still receive results) before the
+// process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pmsf/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+	workers := flag.Int("workers", 0, "max concurrent engine runs K (0 = GOMAXPROCS/2)")
+	queueDepth := flag.Int("queue-depth", 64, "queued jobs beyond the K running ones")
+	cacheEntries := flag.Int("cache-entries", 128, "LRU forest cache capacity (-1 disables)")
+	registryCapMB := flag.Int64("registry-cap-mb", 2048, "graph registry byte cap in MiB (-1 = unlimited)")
+	maxUploadMB := flag.Int64("max-upload-mb", 256, "per-upload graph size cap in MiB")
+	rate := flag.Float64("rate", 50, "per-client requests/second (-1 disables rate limiting)")
+	burst := flag.Int("burst", 100, "per-client burst size")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight runs on shutdown")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		CacheEntries:     *cacheEntries,
+		RegistryCapBytes: scaleMB(*registryCapMB),
+		MaxUploadBytes:   scaleMB(*maxUploadMB),
+		RatePerSecond:    *rate,
+		Burst:            *burst,
+		DrainTimeout:     *drainTimeout,
+	})
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("msf-serve: listening on %s (K=%d workers)\n", ln.Addr(), srv.Queue().Workers())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("msf-serve: %v — draining (timeout %v)\n", s, *drainTimeout)
+	case err := <-errCh:
+		fatal(err)
+	}
+
+	// Drain order: stop admission and finish in-flight engine runs
+	// first (their handlers are still writing responses), then close
+	// the HTTP listener once those responses are out.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout+5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "msf-serve: drain incomplete: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "msf-serve: http shutdown: %v\n", err)
+	}
+	fmt.Println("msf-serve: shutdown complete")
+}
+
+// scaleMB converts a MiB flag to bytes, passing the sentinel values
+// through (-1 unlimited, 0 default).
+func scaleMB(mb int64) int64 {
+	if mb <= 0 {
+		return mb
+	}
+	return mb << 20
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "msf-serve:", err)
+	os.Exit(1)
+}

@@ -6,19 +6,38 @@
 //
 // Usage:
 //
-//	msf-verify [-format binary|text|dimacs|metis] graph.pmsf forest.txt
+//	msf-verify [-format binary|text|dimacs|metis] [-algo ENGINE] [-p N] graph.pmsf forest.txt
+//
+// With -algo, the forest is additionally cross-checked against a fresh
+// run of the named engine (any algorithm from the library's catalog):
+// the recomputed forest must match in size, component count, and total
+// weight.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"strings"
 
 	"pmsf"
 )
 
+// algoNames renders the canonical engine list for flag help —
+// pmsf.Algorithms() is the single source of truth.
+func algoNames() string {
+	names := make([]string, 0, len(pmsf.Algorithms()))
+	for _, a := range pmsf.Algorithms() {
+		names = append(names, a.String())
+	}
+	return strings.Join(names, ", ")
+}
+
 func main() {
 	formatName := flag.String("format", "binary", "graph format: binary, text, dimacs or metis")
+	algoFlag := flag.String("algo", "", "also cross-check against a fresh run of this engine ("+algoNames()+")")
+	workers := flag.Int("p", 1, "with -algo: worker count for the cross-check run")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fatal(fmt.Errorf("want <graph file> <forest file>, got %d args", flag.NArg()))
@@ -47,6 +66,40 @@ func main() {
 	}
 	fmt.Printf("OK: %d-edge forest over n=%d m=%d, weight %.6f, %d components — verified minimum\n",
 		forest.Size(), g.N, len(g.Edges), forest.Weight, forest.Components)
+
+	if *algoFlag != "" {
+		if err := crossCheck(g, forest, *algoFlag, *workers); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// crossCheck recomputes the MSF with the named engine and compares it
+// to the saved forest. Weights are compared with a relative tolerance:
+// engines sum edge weights in different orders, so the floating-point
+// totals can differ in the last bits.
+func crossCheck(g *pmsf.Graph, forest *pmsf.Forest, name string, workers int) error {
+	algo, err := pmsf.ParseAlgorithm(name)
+	if err != nil {
+		return fmt.Errorf("%v (want one of %s)", err, algoNames())
+	}
+	ref, _, err := pmsf.MinimumSpanningForest(g, algo, pmsf.Options{Workers: workers})
+	if err != nil {
+		return err
+	}
+	if ref.Size() != forest.Size() {
+		return fmt.Errorf("%s cross-check: forest size %d, %s computed %d", algo, forest.Size(), algo, ref.Size())
+	}
+	if ref.Components != forest.Components {
+		return fmt.Errorf("%s cross-check: %d components, %s computed %d", algo, forest.Components, algo, ref.Components)
+	}
+	tol := 1e-9 * math.Max(1, math.Abs(ref.Weight))
+	if d := ref.Weight - forest.Weight; d > tol || d < -tol {
+		return fmt.Errorf("%s cross-check: weight %.9f, %s computed %.9f", algo, forest.Weight, algo, ref.Weight)
+	}
+	fmt.Printf("OK: %s agrees (size %d, %d components, weight %.6f)\n",
+		algo, ref.Size(), ref.Components, ref.Weight)
+	return nil
 }
 
 func fatal(err error) {

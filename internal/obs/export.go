@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Export is the one-shot JSON snapshot of a run (or of a live process):
+// the span tree, the per-phase totals, and a counter snapshot, packed
+// into a single marshalable struct. It is what a service endpoint
+// returns instead of scraping expvar text: `/metrics` and `/status` in
+// msf-serve marshal an Export directly.
+type Export struct {
+	// Algorithm and Workers mirror Summary (first root span).
+	Algorithm string `json:"algorithm,omitempty"`
+	Workers   int    `json:"workers,omitempty"`
+	// WallNS is the end timestamp of the last-ending span.
+	WallNS int64 `json:"wall_ns"`
+	// SpanCount is the number of completed spans.
+	SpanCount int `json:"span_count"`
+	// PhaseTotalNS sums span durations by span name.
+	PhaseTotalNS map[string]int64 `json:"phase_total_ns,omitempty"`
+	// Tree is the completed span forest, children nested under parents
+	// and ordered by start time.
+	Tree []*ExportSpan `json:"tree,omitempty"`
+	// Counters is a snapshot of the registry, when one was given.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// ExportSpan is one span of the exported tree.
+type ExportSpan struct {
+	Name     string           `json:"name"`
+	Cat      string           `json:"cat,omitempty"`
+	Worker   int              `json:"worker,omitempty"`
+	StartNS  int64            `json:"start_ns"`
+	DurNS    int64            `json:"dur_ns"`
+	Args     map[string]int64 `json:"args,omitempty"`
+	Children []*ExportSpan    `json:"children,omitempty"`
+}
+
+// BuildExport assembles the snapshot from a collector and a registry.
+// Both are optional: a nil collector exports an empty tree (counters
+// only — the live-process `/metrics` shape), a nil registry omits
+// counters (the per-run `/jobs/{id}` shape).
+func BuildExport(c *Collector, reg *Registry) *Export {
+	e := &Export{}
+	spans := c.Spans() // nil-safe
+	if len(spans) > 0 {
+		e.PhaseTotalNS = make(map[string]int64)
+	}
+	nodes := make(map[int64]*ExportSpan, len(spans))
+	order := make(map[int64]int, len(spans)) // record order, for stable sibling sort on start ties
+	for i, r := range spans {
+		e.SpanCount++
+		e.PhaseTotalNS[r.Name] += r.Dur.Nanoseconds()
+		if end := r.End().Nanoseconds(); end > e.WallNS {
+			e.WallNS = end
+		}
+		if r.Parent == 0 && e.Algorithm == "" {
+			e.Algorithm = r.Name
+			if w, ok := r.Arg("workers"); ok {
+				e.Workers = int(w)
+			}
+		}
+		n := &ExportSpan{
+			Name:    r.Name,
+			Cat:     r.Cat,
+			Worker:  r.Worker,
+			StartNS: r.Start.Nanoseconds(),
+			DurNS:   r.Dur.Nanoseconds(),
+		}
+		if len(r.Args) > 0 {
+			n.Args = make(map[string]int64, len(r.Args))
+			for _, a := range r.Args {
+				n.Args[a.Key] = a.Value
+			}
+		}
+		nodes[r.ID] = n
+		order[r.ID] = i
+	}
+	// Spans() returns end order (children before parents), so a second
+	// pass can attach every child to its parent; orphans (parent span
+	// never ended) become roots rather than being dropped.
+	for _, r := range spans {
+		n := nodes[r.ID]
+		if p, ok := nodes[r.Parent]; ok && r.Parent != r.ID {
+			p.Children = append(p.Children, n)
+		} else {
+			e.Tree = append(e.Tree, n)
+		}
+	}
+	sortSpans(e.Tree, order, nodes)
+	if reg != nil {
+		e.Counters = reg.Snapshot()
+	}
+	return e
+}
+
+// sortSpans orders every sibling list by start time (record order on
+// ties) so the export is deterministic for a deterministic trace.
+func sortSpans(list []*ExportSpan, order map[int64]int, nodes map[int64]*ExportSpan) {
+	pos := make(map[*ExportSpan]int, len(nodes))
+	for id, n := range nodes {
+		pos[n] = order[id]
+	}
+	var rec func(l []*ExportSpan)
+	rec = func(l []*ExportSpan) {
+		sort.Slice(l, func(i, j int) bool {
+			if l[i].StartNS != l[j].StartNS {
+				return l[i].StartNS < l[j].StartNS
+			}
+			return pos[l[i]] < pos[l[j]]
+		})
+		for _, n := range l {
+			rec(n.Children)
+		}
+	}
+	rec(list)
+}
+
+// WriteJSON writes the export as indented JSON.
+func (e *Export) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildExportTrace records a small deterministic span tree: a root with
+// two iterations, nested steps, args, and a worker tag.
+func buildExportTrace() (*Collector, *Registry) {
+	c := NewCollector()
+	stubClock(c)
+	root := c.Start("Bor-EL", "Bor-EL")
+	root.SetInt("workers", 2)
+	it1 := root.Child("iteration")
+	it1.SetInt("list_size", 6000)
+	fm := it1.Child("find-min")
+	fm.SetWorker(1)
+	fm.End()
+	cg := it1.Child("compact-graph")
+	cg.End()
+	it1.End()
+	it2 := root.Child("iteration")
+	it2.SetInt("list_size", 900)
+	it2.End()
+	root.End()
+
+	reg := NewRegistry()
+	reg.Counter("edges_retired").Add(5100)
+	reg.Gauge("supervertices").Set(130)
+	return c, reg
+}
+
+func TestExportTreeStructure(t *testing.T) {
+	c, reg := buildExportTrace()
+	e := BuildExport(c, reg)
+
+	if e.Algorithm != "Bor-EL" || e.Workers != 2 {
+		t.Errorf("header = (%q, %d), want (Bor-EL, 2)", e.Algorithm, e.Workers)
+	}
+	if e.SpanCount != 5 {
+		t.Errorf("SpanCount = %d, want 5", e.SpanCount)
+	}
+	if len(e.Tree) != 1 {
+		t.Fatalf("got %d roots, want 1", len(e.Tree))
+	}
+	root := e.Tree[0]
+	if len(root.Children) != 2 {
+		t.Fatalf("root has %d children, want 2 iterations", len(root.Children))
+	}
+	it1, it2 := root.Children[0], root.Children[1]
+	if it1.StartNS > it2.StartNS {
+		t.Errorf("children not ordered by start: %d then %d", it1.StartNS, it2.StartNS)
+	}
+	if len(it1.Children) != 2 || it1.Children[0].Name != "find-min" || it1.Children[1].Name != "compact-graph" {
+		t.Errorf("iteration 1 children wrong: %+v", it1.Children)
+	}
+	if it1.Children[0].Worker != 1 {
+		t.Errorf("find-min worker = %d, want 1", it1.Children[0].Worker)
+	}
+	if it1.Args["list_size"] != 6000 || it2.Args["list_size"] != 900 {
+		t.Errorf("iteration args wrong: %v / %v", it1.Args, it2.Args)
+	}
+	if e.Counters["edges_retired"] != 5100 || e.Counters["supervertices"] != 130 {
+		t.Errorf("counters wrong: %v", e.Counters)
+	}
+	// Phase totals must match the Summary aggregation over the same spans.
+	s := c.Summarize(nil)
+	for name, ns := range s.PhaseTotalNS {
+		if e.PhaseTotalNS[name] != ns {
+			t.Errorf("PhaseTotalNS[%q] = %d, summary says %d", name, e.PhaseTotalNS[name], ns)
+		}
+	}
+	if e.WallNS != s.WallNS {
+		t.Errorf("WallNS = %d, summary says %d", e.WallNS, s.WallNS)
+	}
+}
+
+func TestExportNilSafety(t *testing.T) {
+	e := BuildExport(nil, nil)
+	if e.SpanCount != 0 || len(e.Tree) != 0 || e.Counters != nil {
+		t.Errorf("nil export not empty: %+v", e)
+	}
+	var buf bytes.Buffer
+	if err := e.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Counters-only export: the live-process /metrics shape.
+	reg := NewRegistry()
+	reg.Counter("x").Add(3)
+	e = BuildExport(nil, reg)
+	if e.Counters["x"] != 3 || e.SpanCount != 0 {
+		t.Errorf("counters-only export wrong: %+v", e)
+	}
+}
+
+// TestExportOrphanSpans: a child whose parent never ended must surface
+// as a root, not vanish — a live snapshot mid-run sees such spans.
+func TestExportOrphanSpans(t *testing.T) {
+	c := NewCollector()
+	stubClock(c)
+	root := c.Start("run", "x")
+	child := root.Child("step")
+	child.End()
+	// root never ends; snapshot now.
+	e := BuildExport(c, nil)
+	if e.SpanCount != 1 || len(e.Tree) != 1 || e.Tree[0].Name != "step" {
+		t.Errorf("orphan span not promoted to root: %+v", e)
+	}
+	root.End()
+}
+
+func TestGoldenExport(t *testing.T) {
+	c, reg := buildExportTrace()
+	var buf bytes.Buffer
+	if err := BuildExport(c, reg).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_export.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -update` to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("export JSON drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	// The golden bytes must round-trip through the public struct.
+	var back Export
+	if err := json.Unmarshal(want, &back); err != nil {
+		t.Fatalf("golden export does not unmarshal: %v", err)
+	}
+	if back.SpanCount != 5 || back.Counters["edges_retired"] != 5100 {
+		t.Errorf("round-tripped export wrong: %+v", back)
+	}
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheKey addresses one computed result: the graph content hash
+// (pmsf.Fingerprint) plus the query hash (pmsf.HashOptions mixed with
+// the query kind). Two requests collide iff they would run the same
+// engine with the same semantics on the same bytes — the definition the
+// root-package hashes were built for.
+type CacheKey struct {
+	Graph uint64
+	Query uint64
+}
+
+// Cache is the LRU forest cache: identical re-queries are answered
+// without an engine run. Entry count is the capacity unit (forests are
+// O(n) but n varies per graph; the count cap keeps semantics simple and
+// eviction observable).
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recent
+	items   map[CacheKey]*list.Element
+	metrics *Metrics
+}
+
+type cacheItem struct {
+	key CacheKey
+	res *Result
+}
+
+// NewCache returns an LRU cache holding up to capEntries results.
+// capEntries <= 0 disables caching (every Get misses, Put drops).
+func NewCache(capEntries int, m *Metrics) *Cache {
+	return &Cache{cap: capEntries, ll: list.New(), items: make(map[CacheKey]*list.Element), metrics: m}
+}
+
+// Get returns the cached result for k, marking it most recently used.
+func (c *Cache) Get(k CacheKey) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		if c.metrics != nil {
+			c.metrics.CacheMisses.Add(1)
+		}
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	if c.metrics != nil {
+		c.metrics.CacheHits.Add(1)
+	}
+	return el.Value.(*cacheItem).res, true
+}
+
+// Put stores res under k, evicting least-recently-used entries beyond
+// the capacity.
+func (c *Cache) Put(k CacheKey, res *Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*cacheItem).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&cacheItem{key: k, res: res})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheItem).key)
+		if c.metrics != nil {
+			c.metrics.CacheEvictions.Add(1)
+		}
+	}
+	if c.metrics != nil {
+		c.metrics.CacheEntries.Set(int64(c.ll.Len()))
+	}
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,416 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"pmsf"
+	"pmsf/internal/obs"
+)
+
+// ErrBadQuery is a malformed query body (400).
+var ErrBadQuery = errors.New("serve: bad query")
+
+// maxGraphNameLen bounds registered graph names.
+const maxGraphNameLen = 128
+
+// routes builds the HTTP surface. Admission-controlled endpoints (graph
+// mutation, queries) go through the per-client rate limiter; cheap
+// read-only surfaces (status, metrics, job polling) do not, so a
+// throttled client can still observe its jobs.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	mux.HandleFunc("POST /v1/graphs/{name}", s.limited(s.handleRegisterGraph))
+	mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
+	mux.HandleFunc("DELETE /v1/graphs/{name}", s.limited(s.handleRemoveGraph))
+	mux.HandleFunc("POST /v1/queries", s.limited(s.handleQuery))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	return mux
+}
+
+// clientKey identifies the caller for rate limiting: the X-API-Key
+// header when present, else the remote host.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// limited wraps h with the per-client token bucket: 429 + Retry-After
+// on an empty bucket.
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ok, retryAfter := s.limiter.Allow(clientKey(r))
+		if !ok {
+			w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter.Round(time.Second)/time.Second)))
+			writeError(w, http.StatusTooManyRequests, "rate limit exceeded")
+			return
+		}
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statusResponse is the GET /v1/status body.
+type statusResponse struct {
+	Status      string           `json:"status"` // "ok" or "draining"
+	UptimeNS    int64            `json:"uptime_ns"`
+	Draining    bool             `json:"draining"`
+	Workers     int              `json:"workers"`
+	QueueDepth  int              `json:"queue_depth"`
+	QueueLen    int              `json:"queue_len"`
+	RunningPeak int64            `json:"running_peak"`
+	GoMaxProcs  int              `json:"gomaxprocs"`
+	Algorithms  []string         `json:"algorithms"`
+	Graphs      []GraphInfo      `json:"graphs"`
+	CacheLen    int              `json:"cache_len"`
+	Counters    map[string]int64 `json:"counters"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	names := make([]string, 0)
+	for _, a := range pmsf.Algorithms() {
+		names = append(names, a.String())
+	}
+	writeJSON(w, http.StatusOK, statusResponse{
+		Status:      status,
+		UptimeNS:    time.Since(s.started).Nanoseconds(),
+		Draining:    s.Draining(),
+		Workers:     s.queue.Workers(),
+		QueueDepth:  s.cfg.QueueDepth,
+		QueueLen:    s.queue.Depth(),
+		RunningPeak: s.queue.RunningPeak(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Algorithms:  names,
+		Graphs:      s.registry.List(),
+		CacheLen:    s.cache.Len(),
+		Counters:    s.metrics.Registry().Snapshot(),
+	})
+}
+
+// metricsResponse is the GET /v1/metrics body: the service's own
+// control-plane registry plus the process-wide engine-kernel registry,
+// both as obs JSON exports (no expvar text scraping).
+type metricsResponse struct {
+	Server  *obs.Export `json:"server"`
+	Process *obs.Export `json:"process"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, metricsResponse{
+		Server:  obs.BuildExport(nil, s.metrics.Registry()),
+		Process: obs.BuildExport(nil, obs.Default()),
+	})
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": s.registry.List()})
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	info, err := s.registry.Get(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleRemoveGraph(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if err := s.registry.Remove(r.PathValue("name")); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "removed"})
+}
+
+// validGraphName accepts dense, URL- and log-safe names.
+func validGraphName(name string) bool {
+	if name == "" || len(name) > maxGraphNameLen {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// handleRegisterGraph ingests POST /v1/graphs/{name}?format=text. The
+// body is the graph in any supported on-disk format, capped at
+// MaxUploadBytes (413 past it).
+func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	name := r.PathValue("name")
+	if !validGraphName(name) {
+		writeError(w, http.StatusBadRequest,
+			"invalid graph name %q: want 1-%d chars of [a-zA-Z0-9._-]", name, maxGraphNameLen)
+		return
+	}
+	formatName := r.URL.Query().Get("format")
+	if formatName == "" {
+		formatName = "text"
+	}
+	format, err := pmsf.ParseGraphFormat(formatName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"graph upload exceeds %d bytes", s.cfg.MaxUploadBytes)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	g, err := pmsf.ReadGraph(bytes.NewReader(body), format)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parsing graph: %v", err)
+		return
+	}
+	info, err := s.registry.Register(name, g)
+	switch {
+	case errors.Is(err, ErrGraphExists):
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	case errors.Is(err, ErrRegistryFull):
+		writeError(w, http.StatusInsufficientStorage, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// QueryRequest is the POST /v1/queries body.
+type QueryRequest struct {
+	// Graph names a registered graph (required).
+	Graph string `json:"graph"`
+	// Kind is "msf" (default) or "components".
+	Kind string `json:"kind,omitempty"`
+	// Algo is any pmsf.ParseAlgorithm name; default MST-BC. Ignored by
+	// components queries.
+	Algo string `json:"algo,omitempty"`
+	// Workers is the engine worker count, clamped to the server's
+	// MaxJobWorkers; 0 means server default.
+	Workers int `json:"workers,omitempty"`
+	// BaseSize, Seed, SortEngine pass through to pmsf.Options.
+	BaseSize   int    `json:"base_size,omitempty"`
+	Seed       uint64 `json:"seed,omitempty"`
+	SortEngine string `json:"sort_engine,omitempty"`
+	// IncludeEdges returns the forest's edge ids (O(n) payload).
+	IncludeEdges bool `json:"include_edges,omitempty"`
+	// IncludeLabels returns per-vertex component labels (O(n) payload).
+	IncludeLabels bool `json:"include_labels,omitempty"`
+	// Async returns 202 + a job id immediately instead of waiting.
+	Async bool `json:"async,omitempty"`
+}
+
+// QueryResponse is the sync/async/cached response envelope.
+type QueryResponse struct {
+	JobID  string   `json:"job_id,omitempty"`
+	State  JobState `json:"state"`
+	Result *Result  `json:"result,omitempty"`
+	Error  string   `json:"error,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding query: %v", err)
+		return
+	}
+	if req.Graph == "" {
+		writeError(w, http.StatusBadRequest, "missing \"graph\"")
+		return
+	}
+	kind := QueryKind(req.Kind)
+	if req.Kind == "" {
+		kind = KindMSF
+	}
+	if kind != KindMSF && kind != KindComponents {
+		writeError(w, http.StatusBadRequest, "unknown kind %q: want %q or %q", req.Kind, KindMSF, KindComponents)
+		return
+	}
+	if req.Workers < 0 {
+		writeError(w, http.StatusBadRequest, "negative workers %d", req.Workers)
+		return
+	}
+	workers := req.Workers
+	if workers > s.cfg.MaxJobWorkers {
+		workers = s.cfg.MaxJobWorkers
+	}
+
+	var algo pmsf.Algorithm
+	var opt pmsf.Options
+	switch kind {
+	case KindMSF:
+		algo = pmsf.MSTBC
+		if req.Algo != "" {
+			var err error
+			algo, err = pmsf.ParseAlgorithm(req.Algo)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "%v (want one of %s)", err, algorithmNames())
+				return
+			}
+		}
+		opt = pmsf.Options{Workers: workers, BaseSize: req.BaseSize, Seed: req.Seed}
+		if req.SortEngine != "" {
+			engine, err := pmsf.ParseSortEngine(req.SortEngine)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			opt.SortEngine = engine
+		}
+	case KindComponents:
+		// Components ignore the engine options; normalizing them keeps
+		// the cache key canonical.
+		opt = pmsf.Options{Workers: workers}
+	}
+
+	lease, err := s.registry.Acquire(req.Graph)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+
+	key := CacheKey{Graph: lease.Fingerprint, Query: queryHash(kind, algo, opt)}
+	// The include flags change the response payload, so they are part
+	// of the key: a labels-included result is a different cache entry.
+	if req.IncludeEdges {
+		key.Query ^= 0x9e3779b97f4a7c15
+	}
+	if req.IncludeLabels {
+		key.Query ^= 0xc2b2ae3d27d4eb4f
+	}
+	if res, ok := s.cache.Get(key); ok {
+		lease.Release()
+		hit := *res
+		hit.Cached = true
+		writeJSON(w, http.StatusOK, QueryResponse{State: StateDone, Result: &hit})
+		return
+	}
+
+	job := s.queue.NewJob(kind, lease)
+	job.Algo = algo
+	job.Opt = opt
+	job.IncludeEdges = req.IncludeEdges
+	job.IncludeLabels = req.IncludeLabels
+	job.CacheKey = key
+	if err := s.queue.Submit(job); err != nil {
+		lease.Release()
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+
+	if req.Async {
+		writeJSON(w, http.StatusAccepted, QueryResponse{JobID: job.ID, State: job.State()})
+		return
+	}
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		// Client left; the job still runs (its result fills the cache).
+		return
+	}
+	res, err := job.Outcome()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if job.State() == StateCanceled {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, QueryResponse{JobID: job.ID, State: job.State(), Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{JobID: job.ID, State: job.State(), Result: res})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, err := s.queue.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+// algorithmNames renders the canonical engine list for error messages
+// and flag help — pmsf.Algorithms() is the single source of truth.
+func algorithmNames() string {
+	names := make([]string, 0, len(pmsf.Algorithms()))
+	for _, a := range pmsf.Algorithms() {
+		names = append(names, a.String())
+	}
+	return strings.Join(names, ", ")
+}

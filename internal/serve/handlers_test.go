@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"testing"
+)
+
+// TestHandlerErrorPaths is the table of rejections the API must produce
+// with the right status codes and JSON error bodies.
+func TestHandlerErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers:          1,
+		MaxUploadBytes:   4 << 10,
+		RegistryCapBytes: 3 << 10,
+	})
+	registerGraph(t, ts, "ok", graphText(t, 50, 100, 1))
+
+	query := func(q QueryRequest) []byte {
+		b, err := json.Marshal(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	tests := []struct {
+		name   string
+		method string
+		path   string
+		body   []byte
+		want   int
+	}{
+		{"bad graph body", "POST", "/v1/graphs/bad?format=text", []byte("3 1\n0 zzz 1.0\n"), http.StatusBadRequest},
+		{"graph with out-of-range edge", "POST", "/v1/graphs/bad2?format=text", []byte("2 1\n0 7 1.0\n"), http.StatusBadRequest},
+		{"unknown format", "POST", "/v1/graphs/bad3?format=xml", []byte("x"), http.StatusBadRequest},
+		{"invalid graph name", "POST", "/v1/graphs/sp%20ace?format=text", []byte("1 0\n"), http.StatusBadRequest},
+		{"oversized upload", "POST", "/v1/graphs/huge?format=text", graphText(t, 2000, 6000, 2), http.StatusRequestEntityTooLarge},
+		{"duplicate name", "POST", "/v1/graphs/ok?format=text", graphText(t, 50, 100, 1), http.StatusConflict},
+		{"registry byte cap", "POST", "/v1/graphs/overflow?format=text", graphText(t, 20, 30, 3), http.StatusInsufficientStorage},
+		{"unknown graph", "POST", "/v1/queries", query(QueryRequest{Graph: "nope"}), http.StatusNotFound},
+		{"missing graph field", "POST", "/v1/queries", []byte(`{}`), http.StatusBadRequest},
+		{"unparsable query body", "POST", "/v1/queries", []byte(`{"graph":`), http.StatusBadRequest},
+		{"unknown engine", "POST", "/v1/queries", query(QueryRequest{Graph: "ok", Algo: "dijkstra"}), http.StatusBadRequest},
+		{"unknown kind", "POST", "/v1/queries", query(QueryRequest{Graph: "ok", Kind: "clustering"}), http.StatusBadRequest},
+		{"unknown sort engine", "POST", "/v1/queries", query(QueryRequest{Graph: "ok", Algo: "Bor-EL", SortEngine: "bogo"}), http.StatusBadRequest},
+		{"negative workers", "POST", "/v1/queries", query(QueryRequest{Graph: "ok", Workers: -1}), http.StatusBadRequest},
+		{"unknown job", "GET", "/v1/jobs/job-999999", nil, http.StatusNotFound},
+		{"unknown job events", "GET", "/v1/jobs/job-999999/events", nil, http.StatusNotFound},
+		{"unknown graph info", "GET", "/v1/graphs/nope", nil, http.StatusNotFound},
+		{"delete unknown graph", "DELETE", "/v1/graphs/nope", nil, http.StatusNotFound},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var errBody struct {
+				Error string `json:"error"`
+			}
+			code := do(t, tc.method, ts.URL+tc.path, tc.body, &errBody)
+			if code != tc.want {
+				t.Fatalf("status = %d, want %d (error %q)", code, tc.want, errBody.Error)
+			}
+			if errBody.Error == "" {
+				t.Error("error body missing the \"error\" field")
+			}
+		})
+	}
+
+	// The errors above must not have poisoned the service.
+	if code, qr := postQuery(t, ts, QueryRequest{Graph: "ok"}); code != http.StatusOK || qr.Result == nil {
+		t.Fatalf("healthy query after error table: %d %+v", code, qr)
+	}
+}
+
+// TestRateLimit429: a client that exhausts its burst gets 429 with a
+// Retry-After header; a different client is unaffected.
+func TestRateLimit429(t *testing.T) {
+	_, ts := newTestServer(t, Config{RatePerSecond: 0.01, Burst: 2})
+	registerGraph(t, ts, "g", graphText(t, 30, 60, 1)) // consumes token 1
+
+	if code, _ := postQuery(t, ts, QueryRequest{Graph: "g"}); code != http.StatusOK {
+		t.Fatalf("query inside burst: %d", code)
+	}
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/queries", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	retry, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || retry < 1 {
+		t.Errorf("Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+	if got := serverCounters(t, ts)["serve_rate_limited"]; got < 1 {
+		t.Errorf("serve_rate_limited = %d, want >= 1", got)
+	}
+
+	// A distinct client key has its own bucket.
+	req2, _ := http.NewRequest("GET", ts.URL+"/v1/graphs/g", nil)
+	req2.Header.Set("X-API-Key", "someone-else")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("other client's read: %d, want 200", resp2.StatusCode)
+	}
+
+	// Read-only surfaces stay reachable for the throttled client.
+	if code := do(t, "GET", ts.URL+"/v1/status", nil, nil); code != http.StatusOK {
+		t.Errorf("/v1/status throttled: %d", code)
+	}
+}
+
+// TestQueueOverflow429: with one worker wedged and a zero-depth
+// backlog, the next query must be refused with 429 + Retry-After.
+func TestQueueOverflow429(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	registerGraph(t, ts, "g", graphText(t, 100, 300, 1))
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	orig := s.queue.exec
+	s.queue.exec = func(j *Job) (*Result, error) {
+		started <- struct{}{}
+		<-release
+		return orig(j)
+	}
+	defer close(release)
+
+	// Job 1 occupies the worker, job 2 fills the backlog.
+	if code, qr := postQuery(t, ts, QueryRequest{Graph: "g", Async: true}); code != http.StatusAccepted {
+		t.Fatalf("first async: %d %+v", code, qr)
+	}
+	<-started
+	if code, _ := postQuery(t, ts, QueryRequest{Graph: "g", Seed: 1, Async: true}); code != http.StatusAccepted {
+		t.Fatalf("second async: %d", code)
+	}
+
+	body, _ := json.Marshal(QueryRequest{Graph: "g", Seed: 2})
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/queries", bytes.NewReader(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	// Leases of refused jobs must be released.
+	if info, err := s.registry.Get("g"); err != nil || info.Refs != 2 {
+		t.Errorf("refs = %+v, %v; want 2 (the two admitted jobs)", info, err)
+	}
+}

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Limiter is a per-client token-bucket rate limiter. Each client key
+// (API key header or remote address) owns a bucket of `burst` tokens
+// refilled at `rate` tokens/second; a request costs one token. When the
+// bucket is empty Allow reports the wait until the next token — the
+// handler turns that into 429 + Retry-After.
+type Limiter struct {
+	rate  float64 // tokens per second; <= 0 disables limiting
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time // stubbed by tests
+	metrics *Metrics
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBuckets bounds the per-client map: past this, buckets that have
+// fully refilled (i.e. idle clients) are pruned on the next request.
+const maxBuckets = 16384
+
+// NewLimiter returns a limiter granting `rate` requests/second with a
+// burst of `burst`. rate <= 0 disables limiting entirely.
+func NewLimiter(rate float64, burst int, m *Metrics) *Limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Limiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+		metrics: m,
+	}
+}
+
+// Allow consumes one token from client's bucket. When it returns false,
+// retryAfter is how long until a token will be available.
+func (l *Limiter) Allow(client string) (ok bool, retryAfter time.Duration) {
+	if l.rate <= 0 {
+		return true, 0
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, exists := l.buckets[client]
+	if !exists {
+		if len(l.buckets) >= maxBuckets {
+			l.pruneLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if l.metrics != nil {
+		l.metrics.RateLimited.Add(1)
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second // Retry-After resolution is whole seconds
+	}
+	return false, wait
+}
+
+// pruneLocked drops buckets that have fully refilled: an idle client
+// loses nothing by being forgotten (a fresh bucket starts full).
+func (l *Limiter) pruneLocked(now time.Time) {
+	for k, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// stubNow pins the limiter's clock to a manually advanced instant.
+func stubNow(l *Limiter) func(d time.Duration) {
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+	return func(d time.Duration) { now = now.Add(d) }
+}
+
+func TestLimiterBurstThenRefill(t *testing.T) {
+	m := NewMetrics()
+	l := NewLimiter(1, 3, m) // 1 token/s, burst 3
+	advance := stubNow(l)
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("c"); !ok {
+			t.Fatalf("request %d refused inside burst", i)
+		}
+	}
+	ok, retry := l.Allow("c")
+	if ok {
+		t.Fatal("4th request allowed with empty bucket")
+	}
+	if retry < time.Second {
+		t.Errorf("retryAfter = %v, want >= 1s", retry)
+	}
+	if m.RateLimited.Value() != 1 {
+		t.Errorf("rate_limited = %d, want 1", m.RateLimited.Value())
+	}
+
+	advance(1500 * time.Millisecond) // refills 1.5 tokens
+	if ok, _ := l.Allow("c"); !ok {
+		t.Error("request refused after refill")
+	}
+	if ok, _ := l.Allow("c"); ok {
+		t.Error("second request allowed with only 0.5 tokens")
+	}
+}
+
+func TestLimiterPerClientIsolation(t *testing.T) {
+	l := NewLimiter(1, 1, NewMetrics())
+	stubNow(l)
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatal("client a refused its first request")
+	}
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatal("client a allowed past its burst")
+	}
+	if ok, _ := l.Allow("b"); !ok {
+		t.Error("client b throttled by client a's bucket")
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	l := NewLimiter(-1, 1, NewMetrics())
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.Allow("x"); !ok {
+			t.Fatal("disabled limiter refused a request")
+		}
+	}
+}
+
+func TestLimiterPrune(t *testing.T) {
+	l := NewLimiter(1000, 1, NewMetrics())
+	advance := stubNow(l)
+	for i := 0; i < maxBuckets; i++ {
+		l.Allow(string(rune('a')) + string(rune(i)))
+	}
+	if len(l.buckets) != maxBuckets {
+		t.Fatalf("buckets = %d, want %d", len(l.buckets), maxBuckets)
+	}
+	advance(time.Minute) // every bucket fully refills
+	l.Allow("fresh-client")
+	if len(l.buckets) >= maxBuckets {
+		t.Errorf("idle buckets not pruned: %d remain", len(l.buckets))
+	}
+}

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"pmsf"
+)
+
+// Registry errors, matched by the handlers to pick status codes.
+var (
+	ErrGraphExists   = errors.New("serve: graph name already registered")
+	ErrGraphNotFound = errors.New("serve: graph not found")
+	ErrRegistryFull  = errors.New("serve: graph registry byte cap exceeded")
+)
+
+// GraphInfo is the public description of one registered graph.
+type GraphInfo struct {
+	Name        string `json:"name"`
+	N           int    `json:"n"`
+	M           int    `json:"m"`
+	Fingerprint string `json:"fingerprint"` // hex, from pmsf.Fingerprint
+	Bytes       int64  `json:"bytes"`       // estimated resident size
+	Refs        int    `json:"refs"`        // queries holding the graph right now
+	Removing    bool   `json:"removing,omitempty"`
+}
+
+// graphEntry is one registered graph plus its refcount. The refcount
+// protects in-flight queries from DELETE: removal is deferred until the
+// last lease is released.
+type graphEntry struct {
+	name    string
+	g       *pmsf.Graph
+	fp      uint64
+	bytes   int64
+	refs    int
+	removed bool // unregistered; free when refs hits zero
+}
+
+// Registry is the named, refcounted, size-capped in-memory graph store.
+// Registration is explicit (no eviction): when the byte cap would be
+// exceeded the upload is refused and the client must DELETE something
+// first — a service holding graphs for millions of queries must never
+// silently drop one mid-traffic.
+type Registry struct {
+	mu       sync.Mutex
+	capBytes int64
+	bytes    int64
+	graphs   map[string]*graphEntry
+	metrics  *Metrics
+}
+
+// NewRegistry returns an empty registry capped at capBytes (<= 0 means
+// unlimited).
+func NewRegistry(capBytes int64, m *Metrics) *Registry {
+	return &Registry{capBytes: capBytes, graphs: make(map[string]*graphEntry), metrics: m}
+}
+
+// GraphBytes estimates the resident size of a graph: the edge records
+// plus the struct header. It is the unit of the registry cap and of the
+// per-upload limit.
+func GraphBytes(g *pmsf.Graph) int64 {
+	return int64(len(g.Edges))*24 + 64
+}
+
+// Register stores g under name. The graph must already be validated.
+func (r *Registry) Register(name string, g *pmsf.Graph) (GraphInfo, error) {
+	bytes := GraphBytes(g)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.graphs[name]; ok {
+		return GraphInfo{}, fmt.Errorf("%w: %q", ErrGraphExists, name)
+	}
+	if r.capBytes > 0 && r.bytes+bytes > r.capBytes {
+		return GraphInfo{}, fmt.Errorf("%w: %d + %d > %d (delete a graph first)",
+			ErrRegistryFull, r.bytes, bytes, r.capBytes)
+	}
+	e := &graphEntry{name: name, g: g, fp: pmsf.Fingerprint(g), bytes: bytes}
+	r.graphs[name] = e
+	r.bytes += bytes
+	r.publish()
+	return r.infoLocked(e), nil
+}
+
+// Lease is a refcounted view of a registered graph. Release must be
+// called exactly once when the query is done with it; Release is
+// idempotent per Lease.
+type Lease struct {
+	Graph       *pmsf.Graph
+	Name        string
+	Fingerprint uint64
+
+	r        *Registry
+	entry    *graphEntry
+	released bool
+	mu       sync.Mutex
+}
+
+// Acquire takes a lease on the named graph, pinning it against removal.
+func (r *Registry) Acquire(name string) (*Lease, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.graphs[name]
+	if !ok || e.removed {
+		return nil, fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+	}
+	e.refs++
+	return &Lease{Graph: e.g, Name: name, Fingerprint: e.fp, r: r, entry: e}, nil
+}
+
+// Release returns the lease. If the graph was removed while leased, the
+// last release frees its bytes.
+func (l *Lease) Release() {
+	l.mu.Lock()
+	if l.released {
+		l.mu.Unlock()
+		return
+	}
+	l.released = true
+	l.mu.Unlock()
+
+	l.r.mu.Lock()
+	defer l.r.mu.Unlock()
+	l.entry.refs--
+	if l.entry.removed && l.entry.refs == 0 {
+		l.r.freeLocked(l.entry)
+	}
+}
+
+// Remove unregisters the named graph. If queries hold leases the entry
+// stays resident (and keeps counting against the cap) until the last
+// lease is released; new Acquires fail immediately.
+func (r *Registry) Remove(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.graphs[name]
+	if !ok || e.removed {
+		return fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+	}
+	e.removed = true
+	delete(r.graphs, name)
+	if e.refs == 0 {
+		r.freeLocked(e)
+	}
+	return nil
+}
+
+// freeLocked drops the entry's bytes from the running total. Caller
+// holds r.mu.
+func (r *Registry) freeLocked(e *graphEntry) {
+	r.bytes -= e.bytes
+	e.g = nil
+	r.publish()
+}
+
+// Get returns the info of one registered graph.
+func (r *Registry) Get(name string) (GraphInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.graphs[name]
+	if !ok || e.removed {
+		return GraphInfo{}, fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+	}
+	return r.infoLocked(e), nil
+}
+
+// List returns every registered graph, sorted by name.
+func (r *Registry) List() []GraphInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]GraphInfo, 0, len(r.graphs))
+	for _, e := range r.graphs {
+		out = append(out, r.infoLocked(e))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Bytes returns the current resident byte total (including removed-but-
+// leased entries).
+func (r *Registry) Bytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bytes
+}
+
+func (r *Registry) infoLocked(e *graphEntry) GraphInfo {
+	return GraphInfo{
+		Name:        e.name,
+		N:           e.g.N,
+		M:           len(e.g.Edges),
+		Fingerprint: fmt.Sprintf("%016x", e.fp),
+		Bytes:       e.bytes,
+		Refs:        e.refs,
+		Removing:    e.removed,
+	}
+}
+
+// publish pushes registry gauges. Caller holds r.mu.
+func (r *Registry) publish() {
+	if r.metrics == nil {
+		return
+	}
+	r.metrics.GraphCount.Set(int64(len(r.graphs)))
+	r.metrics.GraphBytes.Set(r.bytes)
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// handleJobEvents streams a job's lifecycle as Server-Sent Events:
+// every event recorded so far is replayed, then live events follow
+// until the job reaches a terminal state or the client disconnects.
+// Slow consumers drop intermediate progress events (the job's
+// publisher never blocks on a subscriber); terminal events are never
+// dropped because the replay-then-live handoff happens under the job's
+// lock and the stream always ends by observing Done().
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	job, err := s.queue.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	replay, live, cancel := job.Subscribe()
+	defer cancel()
+	for _, ev := range replay {
+		if err := writeSSE(w, ev); err != nil {
+			return
+		}
+	}
+	flusher.Flush()
+	if n := len(replay); n > 0 && terminal(replay[n-1].State) {
+		return
+	}
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-live:
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+			flusher.Flush()
+			if terminal(ev.State) {
+				return
+			}
+		case <-job.Done():
+			// The terminal event may have been dropped by a full
+			// subscriber buffer; emit the final status explicitly.
+			snap := job.Snapshot()
+			ev := Event{Type: string(snap.State), JobID: job.ID, State: snap.State, Spans: snap.Spans, Error: snap.Error}
+			_ = writeSSE(w, ev)
+			flusher.Flush()
+			return
+		}
+	}
+}
+
+// terminal reports whether the state ends the stream.
+func terminal(s JobState) bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// writeSSE emits one `event:`/`data:` frame.
+func writeSSE(w http.ResponseWriter, ev Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+	return err
+}
