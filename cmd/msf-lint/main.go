@@ -5,8 +5,10 @@
 // Standalone (the supported CI entry point):
 //
 //	msf-lint ./...
+//	msf-lint -tests ./...
 //	msf-lint -only noalloc,atomicslice ./internal/boruvka
-//	msf-lint -list
+//	msf-lint -json ./... > findings.json
+//	msf-lint -list ./...
 //
 // It also speaks the `go vet -vettool` unitchecker protocol, so
 //
@@ -21,8 +23,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -46,9 +50,11 @@ func main() {
 		return
 	}
 
-	list := flag.Bool("list", false, "list the analyzers and exit")
+	list := flag.Bool("list", false, "list the analyzers and exit; with packages, include per-analyzer //msf:ignore counts")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	disable := flag.String("disable", "", "comma-separated analyzer names to skip")
+	tests := flag.Bool("tests", false, "also load and analyze _test.go sources")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON on stdout instead of text on stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: msf-lint [flags] packages...\n")
 		flag.PrintDefaults()
@@ -60,9 +66,7 @@ func main() {
 		fatal(err)
 	}
 	if *list {
-		for _, a := range analyzers {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
-		}
+		listAnalyzers(analyzers, *tests, flag.Args())
 		return
 	}
 
@@ -77,7 +81,7 @@ func main() {
 		os.Exit(unitcheck(args[0], analyzers))
 	}
 
-	pkgs, err := load.Load("", args...)
+	pkgs, err := loadPackages(*tests, args)
 	if err != nil {
 		fatal(err)
 	}
@@ -85,9 +89,73 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *jsonOut {
+		if err := printJSON(os.Stdout, diags); err != nil {
+			fatal(err)
+		}
+		if len(diags) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if checker.Print(os.Stderr, diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// loadPackages resolves the targets, with or without test sources.
+func loadPackages(tests bool, patterns []string) ([]*load.Package, error) {
+	if tests {
+		return load.LoadTests("", patterns...)
+	}
+	return load.Load("", patterns...)
+}
+
+// listAnalyzers prints the suite; given packages it also loads them and
+// shows how many //msf:ignore suppressions each analyzer carries there.
+func listAnalyzers(analyzers []*analysis.Analyzer, tests bool, patterns []string) {
+	var counts map[string]int
+	if len(patterns) > 0 {
+		pkgs, err := loadPackages(tests, patterns)
+		if err != nil {
+			fatal(err)
+		}
+		counts = checker.IgnoreStats(pkgs)
+	}
+	for _, a := range analyzers {
+		if counts != nil {
+			fmt.Printf("%-14s %3d ignored  %s\n", a.Name, counts[a.Name], a.Doc)
+			continue
+		}
+		fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+	}
+}
+
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// printJSON renders diagnostics as a JSON array (always an array, so
+// consumers need no null handling on a clean run).
+func printJSON(w io.Writer, diags []checker.Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:     d.Position.Filename,
+			Line:     d.Position.Line,
+			Column:   d.Position.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func selectAnalyzers(only, disable string) ([]*analysis.Analyzer, error) {

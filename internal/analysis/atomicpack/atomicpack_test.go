@@ -1,0 +1,12 @@
+package atomicpack_test
+
+import (
+	"testing"
+
+	"pmsf/internal/analysis/antest"
+	"pmsf/internal/analysis/atomicpack"
+)
+
+func TestFixtures(t *testing.T) {
+	antest.Run(t, atomicpack.Analyzer, antest.Fixture("a"))
+}

@@ -1,0 +1,122 @@
+// Package a is the atomicpack fixture: a writemin-shaped race-key
+// protocol with a blessed packer/unpacker pair and a CAS-loop sink.
+// Stores of hand-rolled bit math, raw decodes, and escapes of the
+// packed slots must be flagged; the blessed paths stay silent.
+package a
+
+import "sync/atomic"
+
+const noMin = ^uint64(0)
+
+type races struct {
+	//msf:packed
+	best []atomic.Uint64
+	lens []int
+}
+
+// raceKey packs (rank, index) into one 64-bit key.
+//
+//msf:packer
+func raceKey(rank, idx uint32) uint64 {
+	return uint64(rank)<<32 | uint64(idx)
+}
+
+// raceIdx recovers the edge index from a packed key.
+//
+//msf:unpacker
+func raceIdx(key uint64) int {
+	return int(uint32(key))
+}
+
+// writeMin is the CAS-loop sink; key arrives already packed.
+//
+//msf:packsink key
+func writeMin(slot *atomic.Uint64, key uint64) {
+	for {
+		cur := slot.Load()
+		if key >= cur {
+			return
+		}
+		if slot.CompareAndSwap(cur, key) {
+			return
+		}
+	}
+}
+
+func leak(slot *atomic.Uint64) {}
+
+// goodStore uses the packer. Silent.
+func (r *races) goodStore(i int, rank, idx uint32) {
+	r.best[i].Store(raceKey(rank, idx))
+}
+
+// constStore resets to the sentinel. Silent.
+func (r *races) constStore(i int) {
+	r.best[i].Store(noMin)
+}
+
+// badStore hand-packs at the call site.
+func (r *races) badStore(i int, rank, idx uint32) {
+	r.best[i].Store(uint64(rank)<<32 | uint64(idx)) // want "does not come from a //msf:packer"
+}
+
+// badSwap routes an unblessed local through a variable.
+func (r *races) badSwap(i int, rank uint32) {
+	v := uint64(rank) << 32
+	r.best[i].Swap(v) // want "does not come from a //msf:packer"
+}
+
+// goodCAS: both old and new are blessed. Silent.
+func (r *races) goodCAS(i int, rank, idx uint32) {
+	old := r.best[i].Load()
+	r.best[i].CompareAndSwap(old, raceKey(rank, idx))
+}
+
+// badShift decodes with a raw shift instead of the unpacker.
+func (r *races) badShift(i int) uint32 {
+	k := r.best[i].Load()
+	return uint32(k >> 32) // want "raw >> on a packed value"
+}
+
+// badTrunc truncates the packed key directly — the winnerWork bug.
+func (r *races) badTrunc(i int) int {
+	k := r.best[i].Load()
+	return r.lens[uint32(k)] // want "raw integer conversion of a packed value"
+}
+
+// goodUnpack decodes through the blessed helper. Silent.
+func (r *races) goodUnpack(i int) int {
+	k := r.best[i].Load()
+	return raceIdx(k)
+}
+
+// sinkCall passes the slot address to the declared sink. Silent.
+func (r *races) sinkCall(i int, rank, idx uint32) {
+	writeMin(&r.best[i], raceKey(rank, idx))
+}
+
+// badSinkArg reaches the sink with an unpacked value.
+func (r *races) badSinkArg(i int, x uint64) {
+	writeMin(&r.best[i], x+1) // want "packed-value argument to writeMin"
+}
+
+// badEscape hands the slot to a function outside the protocol.
+func (r *races) badEscape(i int) {
+	leak(&r.best[i]) // want "not marked //msf:packsink"
+}
+
+// aliasStore: a local alias of the packed slice is still packed.
+func (r *races) aliasStore(i int, rank uint32) {
+	best := r.best
+	best[i].Store(uint64(rank)) // want "does not come from a //msf:packer"
+}
+
+// unrelated atomics are out of scope. Silent.
+type plain struct {
+	n atomic.Uint64
+}
+
+func (p *plain) bump(x uint64) {
+	p.n.Store(x<<1 | 1)
+	_ = p.n.Load() >> 3
+}

@@ -113,6 +113,20 @@ func ignoreDirectives(pkg *load.Package) (map[ignoreKey]bool, []Diagnostic) {
 
 func directivesOf(f *ast.File) []analysis.Directive { return analysis.Directives(f) }
 
+// IgnoreStats counts the //msf:ignore suppressions per analyzer across
+// pkgs. Malformed directives (no analyzer name or reason) are not
+// counted — they surface as "directive" diagnostics in Run instead.
+func IgnoreStats(pkgs []*load.Package) map[string]int {
+	counts := map[string]int{}
+	for _, pkg := range pkgs {
+		ignores, _ := ignoreDirectives(pkg)
+		for k := range ignores {
+			counts[k.analyzer]++
+		}
+	}
+	return counts
+}
+
 // Print writes diagnostics one per line to w and returns how many were
 // written.
 func Print(w io.Writer, diags []Diagnostic) int {

@@ -1,0 +1,211 @@
+// Package ctxdone keeps goroutines drainable: every `go func` whose
+// body loops unboundedly must, on some path of every such loop, receive
+// from a shutdown signal — ctx.Done(), a quit/stop channel — in a way
+// that actually exits the loop. Without that, the serve daemon's
+// graceful drain leaks the goroutine forever.
+//
+// The check is CFG-based, which lets it catch the classic trap: `break`
+// inside a `select` case breaks the select, not the loop, so
+//
+//	for {
+//		select {
+//		case <-ctx.Done():
+//			break // loops forever
+//		...
+//	}
+//
+// has a Done case yet no escape; the analyzer follows the case block's
+// successors and reports when none of them leave the loop without
+// passing its head again.
+//
+// Loops that terminate on their own are exempt: ranges (including
+// range-over-channel, which ends when the producer closes the channel)
+// and for loops with a condition. Only `for { ... }` inside a
+// go-launched function literal is held to the rule.
+package ctxdone
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"pmsf/internal/analysis"
+	"pmsf/internal/analysis/cfg"
+)
+
+// Analyzer is the ctxdone analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxdone",
+	Doc: "every goroutine launched with `go func` whose body loops forever " +
+		"must select on a ctx.Done()/quit channel that exits the loop, so " +
+		"shutdown cannot leak it",
+	Run: run,
+}
+
+// doneName matches channel identifiers that conventionally signal
+// shutdown.
+var doneName = regexp.MustCompile(`(?i)(quit|done|stop|shut|clos|exit|cancel|drain)`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkGoroutine(pass, lit.Body)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGoroutine(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	for _, lp := range g.Loops {
+		fs, ok := lp.Stmt.(*ast.ForStmt)
+		if !ok || fs.Cond != nil {
+			continue // range or conditioned loop: terminates on its own
+		}
+		inLoop := loopBlocks(g, lp)
+		var trapped []*cfg.Block // done-receives that cannot exit the loop
+		escaped := false
+		for _, blk := range inLoop {
+			n := doneReceiveIn(pass.TypesInfo, blk)
+			if n == nil {
+				continue
+			}
+			if exitsLoop(g, lp, blk) {
+				escaped = true
+				break
+			}
+			trapped = append(trapped, blk)
+		}
+		if escaped {
+			continue
+		}
+		if len(trapped) > 0 {
+			pass.Reportf(trapped[0].Comm.Pos(),
+				"this shutdown-channel receive never exits the enclosing loop "+
+					"(a plain `break` in a select case breaks the select, not the loop); "+
+					"the goroutine leaks on drain")
+			continue
+		}
+		pass.Reportf(fs.For,
+			"goroutine loop has no ctx.Done()/quit escape on any path; "+
+				"drain leaks this goroutine")
+	}
+}
+
+// loopBlocks returns the candidate blocks of lp's body: everything
+// reachable from the head without crossing the loop's follow block or
+// the function exit. This keeps the escape blocks themselves (a select
+// case whose body is `return` flows straight to exit and could never
+// reach the head again) while excluding the code after the loop.
+func loopBlocks(g *cfg.Graph, lp *cfg.Loop) []*cfg.Block {
+	reach := map[*cfg.Block]bool{}
+	var fwd func(b *cfg.Block)
+	fwd = func(b *cfg.Block) {
+		if reach[b] || b == g.Exit || b == lp.Follow {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.Succs {
+			fwd(s)
+		}
+	}
+	fwd(lp.Head)
+
+	var out []*cfg.Block
+	for _, b := range g.Blocks {
+		if reach[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// doneReceiveIn returns a node of blk that receives from a shutdown
+// signal: the comm of a select case, or a standalone receive statement.
+func doneReceiveIn(info *types.Info, blk *cfg.Block) ast.Node {
+	if blk.Comm != nil && commIsDoneReceive(info, blk.Comm) {
+		return blk.Comm
+	}
+	for _, n := range blk.Nodes {
+		if s, ok := n.(ast.Stmt); ok && commIsDoneReceive(info, s) {
+			return n
+		}
+	}
+	return nil
+}
+
+func commIsDoneReceive(info *types.Info, comm ast.Stmt) bool {
+	var recv ast.Expr
+	switch c := comm.(type) {
+	case *ast.ExprStmt:
+		recv = c.X
+	case *ast.AssignStmt:
+		if len(c.Rhs) == 1 {
+			recv = c.Rhs[0]
+		}
+	}
+	ue, ok := recv.(*ast.UnaryExpr)
+	if !ok {
+		return false
+	}
+	return isDoneChan(info, ue.X)
+}
+
+// isDoneChan reports whether e is a shutdown-signal channel: the result
+// of a Done() method (context.Context, job handles, ...) or a channel
+// variable/field whose name says quit/stop/done/....
+func isDoneChan(info *types.Info, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			return sel.Sel.Name == "Done"
+		}
+	case *ast.Ident:
+		return doneName.MatchString(e.Name)
+	case *ast.SelectorExpr:
+		return doneName.MatchString(e.Sel.Name)
+	}
+	return false
+}
+
+// exitsLoop reports whether control can flow from blk out of the loop —
+// to the loop's follow block or the function exit — without first
+// passing the loop head again.
+func exitsLoop(g *cfg.Graph, lp *cfg.Loop, blk *cfg.Block) bool {
+	seen := map[*cfg.Block]bool{lp.Head: true}
+	var walk func(b *cfg.Block) bool
+	walk = func(b *cfg.Block) bool {
+		if b == g.Exit || b == lp.Follow {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range blk.Succs {
+		if walk(s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package ctxdone_test
+
+import (
+	"testing"
+
+	"pmsf/internal/analysis/antest"
+	"pmsf/internal/analysis/ctxdone"
+)
+
+func TestFixtures(t *testing.T) {
+	antest.Run(t, ctxdone.Analyzer, antest.Fixture("a"))
+}

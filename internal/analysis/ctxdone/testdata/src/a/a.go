@@ -1,0 +1,113 @@
+// Package a is the ctxdone fixture: go-launched infinite loops must
+// have a shutdown-channel escape; naturally terminating loops and
+// correct select-on-done patterns stay silent.
+package a
+
+import "context"
+
+type svc struct {
+	work chan int
+	quit chan struct{}
+}
+
+// leaky loops forever with no shutdown signal at all.
+func (s *svc) leaky() {
+	go func() {
+		for { // want "no ctx.Done../quit escape"
+			v := <-s.work
+			_ = v
+		}
+	}()
+}
+
+// breakTrap has the Done case but `break` only leaves the select: the
+// loop (and the goroutine) survives drain.
+func (s *svc) breakTrap(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done(): // want "never exits the enclosing loop"
+				break
+			case v := <-s.work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// returnOnDone is the blessed pattern. Must stay silent.
+func (s *svc) returnOnDone(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-s.work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// labeledBreak exits through a labeled break: the CFG must see the
+// escape even though the `break` names the loop, not the select.
+func (s *svc) labeledBreak() {
+	go func() {
+	loop:
+		for {
+			select {
+			case <-s.quit:
+				break loop
+			case v := <-s.work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// rangeChan drains on close — inherently shutdown-safe. Must stay
+// silent.
+func (s *svc) rangeChan() {
+	go func() {
+		for v := range s.work {
+			_ = v
+		}
+	}()
+}
+
+// boundedLoop terminates on its own condition. Must stay silent.
+func (s *svc) boundedLoop(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			s.work <- i
+		}
+	}()
+}
+
+// standaloneRecv parks directly on the quit channel each round; the
+// receive unblocks only at shutdown and the loop then returns. Silent.
+func (s *svc) standaloneRecv() {
+	go func() {
+		for {
+			select {
+			case v := <-s.work:
+				_ = v
+			case <-s.quit:
+				return
+			}
+		}
+	}()
+}
+
+// notAGoroutine: the same leaky shape outside `go` is some caller's
+// problem (it blocks the caller, which is visible); ctxdone stays
+// silent.
+func (s *svc) notAGoroutine() {
+	for {
+		v, ok := <-s.work
+		if !ok {
+			return
+		}
+		_ = v
+	}
+}

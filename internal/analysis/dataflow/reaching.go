@@ -1,0 +1,162 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pmsf/internal/analysis/cfg"
+)
+
+// Def is one definition of a variable: the block-level node that
+// assigns it and the expression assigned. For a multi-value assignment
+// `a, b := f()` both defs share the call as their Rhs; Rhs is nil when
+// the definition has no expression (a `var x T` zero value, or a range
+// clause binding).
+type Def struct {
+	Obj  types.Object
+	Node ast.Node
+	Rhs  ast.Expr
+}
+
+// DefsIn extracts the definitions performed by block-level node n
+// itself (assignments inside nested function literals belong to the
+// literal's own graph and are not included).
+func DefsIn(n ast.Node, info *types.Info) []Def {
+	var out []Def
+	def := func(e ast.Expr, rhs ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		o := info.Defs[id]
+		if o == nil {
+			o = info.Uses[id]
+		}
+		if _, ok := o.(*types.Var); ok {
+			out = append(out, Def{Obj: o, Node: n, Rhs: rhs})
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+			for _, l := range n.Lhs {
+				def(l, n.Rhs[0])
+			}
+		} else {
+			for i, l := range n.Lhs {
+				if i < len(n.Rhs) {
+					def(l, n.Rhs[i])
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			break
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				var rhs ast.Expr
+				switch {
+				case len(vs.Values) == 1 && len(vs.Names) > 1:
+					rhs = vs.Values[0]
+				case i < len(vs.Values):
+					rhs = vs.Values[i]
+				}
+				def(name, rhs)
+			}
+		}
+	case *ast.IncDecStmt:
+		def(n.X, nil)
+	case *ast.RangeStmt:
+		if n.Key != nil {
+			def(n.Key, nil)
+		}
+		if n.Value != nil {
+			def(n.Value, nil)
+		}
+	}
+	return out
+}
+
+// Defs answers reaching-definitions queries over one function graph.
+type Defs struct {
+	res    *Result[Set[Def]]
+	info   *types.Info
+	stmtOf map[ast.Node]ast.Node // descendant -> enclosing block-level node
+}
+
+// ReachingDefs solves the classic forward may-analysis over g: a Def
+// reaches a point if some path from the definition arrives there
+// without the variable being reassigned.
+func ReachingDefs(g *cfg.Graph, info *types.Info) *Defs {
+	transfer := func(n ast.Node, in Set[Def]) Set[Def] {
+		ds := DefsIn(n, info)
+		if len(ds) == 0 {
+			return in
+		}
+		out := in.Clone()
+		for _, d := range ds {
+			for k := range out {
+				if k.Obj == d.Obj {
+					delete(out, k)
+				}
+			}
+			out.Add(d)
+		}
+		return out
+	}
+	res := Solve(g, Problem[Set[Def]]{
+		Join:     Union[Def],
+		Equal:    EqualSets[Def],
+		Transfer: transfer,
+	})
+	d := &Defs{res: res, info: info, stmtOf: make(map[ast.Node]ast.Node)}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			enclosing := n
+			ast.Inspect(n, func(m ast.Node) bool {
+				if m == nil {
+					return false
+				}
+				d.stmtOf[m] = enclosing
+				return true
+			})
+		}
+	}
+	return d
+}
+
+// Before returns the definitions reaching the start of the block-level
+// node enclosing n (n itself may be any descendant expression).
+func (d *Defs) Before(n ast.Node) Set[Def] {
+	s, ok := d.stmtOf[n]
+	if !ok {
+		return nil
+	}
+	facts, _ := d.res.Before(s)
+	return facts
+}
+
+// Of returns the definitions of id's object that reach id's use.
+func (d *Defs) Of(id *ast.Ident) []Def {
+	o := d.info.Uses[id]
+	if o == nil {
+		o = d.info.Defs[id]
+	}
+	if o == nil {
+		return nil
+	}
+	var out []Def
+	for def := range d.Before(id) {
+		if def.Obj == o {
+			out = append(out, def)
+		}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package dataflow
+
+// Set is the fact lattice most analyzers use: a finite set of
+// comparable facts under union (may-analyses) or intersection
+// (must-analyses). The zero value is an empty, immutable-by-convention
+// set; mutate only sets you own via Clone.
+type Set[K comparable] map[K]struct{}
+
+// NewSet builds a set from ks.
+func NewSet[K comparable](ks ...K) Set[K] {
+	s := make(Set[K], len(ks))
+	for _, k := range ks {
+		s[k] = struct{}{}
+	}
+	return s
+}
+
+// Has reports membership. Safe on a nil set.
+func (s Set[K]) Has(k K) bool { _, ok := s[k]; return ok }
+
+// Add inserts k into s (s must be non-nil and owned by the caller).
+func (s Set[K]) Add(k K) { s[k] = struct{}{} }
+
+// Delete removes k from s.
+func (s Set[K]) Delete(k K) { delete(s, k) }
+
+// Clone returns an independent copy of s.
+func (s Set[K]) Clone() Set[K] {
+	t := make(Set[K], len(s))
+	for k := range s {
+		t[k] = struct{}{}
+	}
+	return t
+}
+
+// Keys returns the elements in unspecified order.
+func (s Set[K]) Keys() []K {
+	ks := make([]K, 0, len(s))
+	for k := range s {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// Union returns a new set holding every element of a and b. Either
+// input may be nil; neither is mutated, and one of the inputs may be
+// returned when the other adds nothing.
+func Union[K comparable](a, b Set[K]) Set[K] {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	sub := true
+	for k := range b {
+		if !a.Has(k) {
+			sub = false
+			break
+		}
+	}
+	if sub {
+		return a
+	}
+	u := a.Clone()
+	for k := range b {
+		u[k] = struct{}{}
+	}
+	return u
+}
+
+// Intersect returns a new set holding the elements in both a and b.
+func Intersect[K comparable](a, b Set[K]) Set[K] {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	out := make(Set[K])
+	for k := range a {
+		if b.Has(k) {
+			out[k] = struct{}{}
+		}
+	}
+	return out
+}
+
+// EqualSets reports whether a and b hold the same elements.
+func EqualSets[K comparable](a, b Set[K]) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b.Has(k) {
+			return false
+		}
+	}
+	return true
+}

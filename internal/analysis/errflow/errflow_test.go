@@ -1,0 +1,12 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"pmsf/internal/analysis/antest"
+	"pmsf/internal/analysis/errflow"
+)
+
+func TestFixtures(t *testing.T) {
+	antest.Run(t, errflow.Analyzer, antest.Fixture("a"))
+}

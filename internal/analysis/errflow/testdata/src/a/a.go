@@ -1,0 +1,106 @@
+// Package a is the errflow fixture: errors produced by calls must be
+// read before being overwritten or abandoned by a nil return. Checks on
+// every path, deliberate discards, closure captures, and named results
+// stay silent.
+package a
+
+import "errors"
+
+var errSentinel = errors.New("sentinel")
+
+func step1() error        { return nil }
+func pair() (int, error)  { return 0, nil }
+func use2(a, b int) error { _, _ = a, b; return nil }
+func sink(err error)      { _ = err }
+
+// overwrite drops step1's failure by reassigning before any read.
+func overwrite() error {
+	err := step1()
+	err = step2() // want "err is overwritten before the previous error"
+	return err
+}
+
+func step2() error { return nil }
+
+// reuse does the same through a := that redeclares only w.
+func reuse() error {
+	v, err := pair()
+	w, err := pair() // want "err is overwritten before the previous error"
+	if err != nil {
+		return err
+	}
+	return use2(v, w)
+}
+
+// drop checks err only under v > 0; the other path returns nil with the
+// error still live.
+func drop() error {
+	v, err := pair()
+	if v > 0 {
+		if err != nil {
+			return err
+		}
+	}
+	return nil // want "return nil while the error in err is unchecked"
+}
+
+// checked is the straight-line happy path. Silent.
+func checked() error {
+	v, err := pair()
+	if err != nil {
+		return err
+	}
+	return use2(v, v)
+}
+
+// branchChecked kills the error on both arms before the nil return.
+// Silent.
+func branchChecked(b bool) error {
+	err := step1()
+	if b {
+		if err != nil {
+			return err
+		}
+	} else if err != nil {
+		return err
+	}
+	return nil
+}
+
+// discard reads the error into the blank identifier — an explicit
+// decision. Silent.
+func discard() {
+	err := step1()
+	_ = err
+}
+
+// logged passes the error to a consumer; that is a read. Silent.
+func logged() error {
+	err := step1()
+	sink(err)
+	return nil
+}
+
+// sentinelCheck reads through errors.Is. Silent.
+func sentinelCheck() error {
+	err := step1()
+	if errors.Is(err, errSentinel) {
+		return nil
+	}
+	return err
+}
+
+// captured errors flow through another control flow entirely; excluded.
+// Silent.
+func captured() error {
+	var err error
+	fn := func() { err = step1() }
+	fn()
+	return err
+}
+
+// named results are read by the naked return. Silent.
+func named() (err error) {
+	err = step1()
+	return
+}

@@ -62,3 +62,49 @@ func TestBrokenInvariantReported(t *testing.T) {
 		t.Errorf("expected an atomicslice diagnostic for the plain read, got %d diagnostics: %v", len(diags), diags)
 	}
 }
+
+// TestSuiteSmoke seeds one violation per v2 concurrency analyzer —
+// miniatures of the writemin race slots and the serve queue/handlers —
+// and asserts every analyzer fires. This is the CI step proving the
+// gate catches each regression class, not just that the tree is clean.
+func TestSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool")
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "brokenv2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := load.Load("", dir)
+	if err != nil {
+		t.Fatalf("loading brokenv2 fixture: %v", err)
+	}
+	diags, err := checker.Run(pkgs, suite.All())
+	if err != nil {
+		t.Fatalf("checker: %v", err)
+	}
+	want := map[string]string{
+		"atomicpack": "raw integer conversion",
+		"lockhold":   "blocking inside a critical section",
+		"ctxdone":    "no ctx.Done()/quit escape",
+		"onceresp":   "status already written",
+		"errflow":    "overwritten before the previous error",
+	}
+	for analyzer, substr := range want {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == analyzer && strings.Contains(d.Message, substr) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s did not fire on its seeded violation (want message containing %q); got: %v",
+				analyzer, substr, diags)
+		}
+	}
+	for _, d := range diags {
+		if _, ok := want[d.Analyzer]; !ok {
+			t.Errorf("unexpected analyzer fired on brokenv2: %s", d)
+		}
+	}
+}

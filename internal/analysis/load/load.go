@@ -47,6 +47,7 @@ type listPackage struct {
 	GoFiles    []string
 	ImportMap  map[string]string
 	Match      []string
+	ForTest    string
 	Incomplete bool
 	Error      *struct{ Err string }
 }
@@ -58,11 +59,27 @@ type listPackage struct {
 // accepts, including "./..." and absolute directories (which is how the
 // antest fixture packages under testdata are reached).
 func Load(dir string, patterns ...string) ([]*Package, error) {
-	args := append([]string{
+	return load(dir, false, patterns)
+}
+
+// LoadTests is Load with `go list -test`: every matched package that
+// has test files is replaced by its test variant ("pkg [pkg.test]",
+// whose file list includes the _test.go sources), and external test
+// packages ("pkg_test") become targets of their own. The generated
+// ".test" mains are never analyzed.
+func LoadTests(dir string, patterns ...string) ([]*Package, error) {
+	return load(dir, true, patterns)
+}
+
+func load(dir string, tests bool, patterns []string) ([]*Package, error) {
+	args := []string{
 		"list", "-export", "-deps",
-		"-json=Dir,ImportPath,Export,Standard,GoFiles,ImportMap,Match,Incomplete,Error",
-		"--",
-	}, patterns...)
+		"-json=Dir,ImportPath,Export,Standard,GoFiles,ImportMap,Match,ForTest,Incomplete,Error",
+	}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(append(args, "--"), patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer
@@ -93,12 +110,23 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 	}
 
+	// In test mode a matched package with tests appears twice: as
+	// itself and as the test variant whose GoFiles include the _test.go
+	// sources. The variant supersedes the original.
+	superseded := map[string]bool{}
+	for _, lp := range all {
+		if len(lp.Match) > 0 && lp.ForTest != "" {
+			superseded[lp.ForTest] = true
+		}
+	}
+
 	fset := token.NewFileSet()
 	var out []*Package
 	for _, lp := range all {
 		// -deps lists the entire closure; only packages matched by the
-		// patterns are analysis targets.
-		if len(lp.Match) == 0 || lp.Standard {
+		// patterns are analysis targets. (The generated ".test" mains
+		// carry no Match and are skipped with the rest.)
+		if len(lp.Match) == 0 || lp.Standard || superseded[lp.ImportPath] {
 			continue
 		}
 		if lp.Error != nil {

@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"pmsf/internal/analysis/antest"
+	"pmsf/internal/analysis/lockhold"
+)
+
+func TestFixtures(t *testing.T) {
+	antest.Run(t, lockhold.Analyzer, antest.Fixture("a"))
+}

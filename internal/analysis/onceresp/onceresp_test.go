@@ -1,0 +1,12 @@
+package onceresp_test
+
+import (
+	"testing"
+
+	"pmsf/internal/analysis/antest"
+	"pmsf/internal/analysis/onceresp"
+)
+
+func TestFixtures(t *testing.T) {
+	antest.Run(t, onceresp.Analyzer, antest.Fixture("a"))
+}

@@ -1,0 +1,130 @@
+// Package a is the onceresp fixture: handlers must write exactly one
+// status on every path — no double writes from a missing return, no
+// path that falls off the end silently. Streaming delegation and
+// client-gone ctx.Done paths are exempt.
+package a
+
+import (
+	"fmt"
+	"net/http"
+)
+
+//msf:respwrite
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "%v", v)
+}
+
+//msf:respwrite
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+type server struct {
+	draining bool
+	events   chan string
+}
+
+func (s *server) check() error {
+	if s.draining {
+		return fmt.Errorf("draining")
+	}
+	return nil
+}
+
+// good writes once on each of its three paths. Silent.
+func (s *server) good(w http.ResponseWriter, r *http.Request) {
+	if s.draining {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if err := s.check(); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, "ok")
+}
+
+// missingReturn falls through after the error write: the OK write below
+// lands on a response that already has a status.
+func (s *server) missingReturn(w http.ResponseWriter, r *http.Request) {
+	if err := s.check(); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+	writeJSON(w, http.StatusOK, "ok") // want "status already written on a path"
+}
+
+// silentPath answers only when draining; the happy path never writes.
+func (s *server) silentPath(w http.ResponseWriter, r *http.Request) { // want "without writing a status on some path"
+	if s.draining {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+	}
+}
+
+// doubleHeader writes the header twice in straight-line code.
+func (s *server) doubleHeader(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(http.StatusOK) // want "status already written on a path"
+}
+
+// switchNoDefault: a switch that handles only some cases leaks the rest
+// as an unanswered path.
+func (s *server) switchNoDefault(w http.ResponseWriter, r *http.Request) { // want "without writing a status on some path"
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, "ok")
+	case http.MethodPost:
+		writeJSON(w, http.StatusCreated, "made")
+	}
+}
+
+// httpError uses the stdlib writer on one arm. Silent.
+func (s *server) httpError(w http.ResponseWriter, r *http.Request) {
+	if s.draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	http.NotFound(w, r)
+}
+
+// clientGone exits without a write only on the ctx.Done path. Silent.
+func (s *server) clientGone(w http.ResponseWriter, r *http.Request) {
+	if s.draining {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	select {
+	case ev := <-s.events:
+		writeJSON(w, http.StatusOK, ev)
+	case <-r.Context().Done():
+		return
+	}
+}
+
+// stream delegates to the writer after the initial status; the
+// streaming writes must not count as second statuses. Silent.
+func (s *server) stream(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	for i := 0; i < 3; i++ {
+		fmt.Fprintf(w, "chunk %d\n", i)
+	}
+}
+
+// wrap is a middleware closure: one arm writes, the other delegates to
+// the wrapped handler. Silent.
+func wrap(h http.HandlerFunc, limit func() bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !limit() {
+			writeError(w, http.StatusTooManyRequests, "slow down")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// notAHandler has a different signature; its zero writes are fine.
+func notAHandler(w http.ResponseWriter, status int) {
+	if status != 0 {
+		w.WriteHeader(status)
+	}
+}

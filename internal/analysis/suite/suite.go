@@ -5,8 +5,13 @@ package suite
 import (
 	"pmsf/internal/analysis"
 	"pmsf/internal/analysis/arenaescape"
+	"pmsf/internal/analysis/atomicpack"
 	"pmsf/internal/analysis/atomicslice"
+	"pmsf/internal/analysis/ctxdone"
+	"pmsf/internal/analysis/errflow"
+	"pmsf/internal/analysis/lockhold"
 	"pmsf/internal/analysis/noalloc"
+	"pmsf/internal/analysis/onceresp"
 	"pmsf/internal/analysis/spanpairing"
 	"pmsf/internal/analysis/teamlifecycle"
 )
@@ -15,8 +20,13 @@ import (
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		arenaescape.Analyzer,
+		atomicpack.Analyzer,
 		atomicslice.Analyzer,
+		ctxdone.Analyzer,
+		errflow.Analyzer,
+		lockhold.Analyzer,
 		noalloc.Analyzer,
+		onceresp.Analyzer,
 		spanpairing.Analyzer,
 		teamlifecycle.Analyzer,
 	}

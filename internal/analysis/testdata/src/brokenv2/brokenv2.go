@@ -1,0 +1,84 @@
+// Package brokenv2 deliberately violates the five v2 concurrency
+// invariants with miniatures of the real engine and daemon code — a
+// writemin-shaped race slot decoded raw, a serve-shaped queue that
+// blocks under its mutex and leaks its worker goroutine, a handler
+// that double-writes, and an error overwritten unchecked. The smoke
+// test asserts each analyzer fires here, proving the CI gate would
+// catch the same regression in internal/writemin or internal/serve.
+package brokenv2
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// --- atomicpack: writemin-shaped race slots with a raw decode.
+
+type races struct {
+	//msf:packed
+	best []atomic.Uint64
+	lens []int
+}
+
+//msf:packer
+func raceKey(rank uint32, idx int) uint64 {
+	return uint64(rank)<<32 | uint64(uint32(idx))
+}
+
+func (r *races) race(v int, rank uint32, idx int) {
+	r.best[v].Store(raceKey(rank, idx))
+}
+
+func (r *races) winner(v int) int {
+	b := r.best[v].Load()
+	return r.lens[uint32(b)] // atomicpack: truncation outside the unpacker
+}
+
+// --- lockhold: a queue that publishes while holding its mutex.
+
+type queue struct {
+	mu   sync.Mutex
+	jobs chan int
+}
+
+func (q *queue) submit(j int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.jobs <- j // lockhold: blocking send inside the critical section
+}
+
+// --- ctxdone: worker goroutine with no shutdown escape.
+
+func (q *queue) start() {
+	go func() {
+		for { // ctxdone: loops forever, no quit channel
+			j := <-q.jobs
+			_ = j
+		}
+	}()
+}
+
+// --- onceresp: handler missing the return after its error write.
+
+//msf:respwrite
+func writeErr(w http.ResponseWriter, status int) {
+	w.WriteHeader(status)
+}
+
+func (q *queue) handle(w http.ResponseWriter, r *http.Request) {
+	if len(q.jobs) == 0 {
+		writeErr(w, http.StatusNotFound)
+	}
+	writeErr(w, http.StatusOK) // onceresp: second status on the empty path
+}
+
+// --- errflow: error overwritten before any check.
+
+func step() error { return nil }
+
+func run() error {
+	err := step()
+	err = step() // errflow: first failure dropped unread
+	return err
+}

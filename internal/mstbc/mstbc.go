@@ -81,21 +81,39 @@ type Stats struct {
 // from the front, thieves from the back (the paper's decreasing pointer).
 // Packed head/tail in one word keeps claims lock-free.
 type partition struct {
-	state atomic.Uint64 // head<<32 | tail (both int32; range is [head, tail))
+	// state packs the unclaimed range [head, tail) as head<<32|tail,
+	// built by packRange and decoded by unpackRange only.
+	//
+	//msf:packed
+	state atomic.Uint64
+}
+
+// packRange packs a claim range's bounds into one state word.
+//
+//msf:packer
+func packRange(head, tail uint32) uint64 {
+	return uint64(head)<<32 | uint64(tail)
+}
+
+// unpackRange recovers a claim range's bounds from the state word.
+//
+//msf:unpacker
+func unpackRange(s uint64) (head, tail uint32) {
+	return uint32(s >> 32), uint32(s)
 }
 
 func (pt *partition) init(lo, hi int) {
-	pt.state.Store(uint64(uint32(lo))<<32 | uint64(uint32(hi)))
+	pt.state.Store(packRange(uint32(lo), uint32(hi)))
 }
 
 func (pt *partition) takeFront() (int, bool) {
 	for {
 		s := pt.state.Load()
-		head, tail := uint32(s>>32), uint32(s)
+		head, tail := unpackRange(s)
 		if head >= tail {
 			return 0, false
 		}
-		if pt.state.CompareAndSwap(s, uint64(head+1)<<32|uint64(tail)) {
+		if pt.state.CompareAndSwap(s, packRange(head+1, tail)) {
 			return int(head), true
 		}
 	}
@@ -104,11 +122,11 @@ func (pt *partition) takeFront() (int, bool) {
 func (pt *partition) takeBack() (int, bool) {
 	for {
 		s := pt.state.Load()
-		head, tail := uint32(s>>32), uint32(s)
+		head, tail := unpackRange(s)
 		if head >= tail {
 			return 0, false
 		}
-		if pt.state.CompareAndSwap(s, uint64(head)<<32|uint64(tail-1)) {
+		if pt.state.CompareAndSwap(s, packRange(head, tail-1)) {
 			return int(tail - 1), true
 		}
 	}

@@ -62,15 +62,26 @@ const noMin = ^uint64(0)
 // and the current working-list index in the low half lets the winner
 // pass recover the edge without an id→index table.
 //
+//msf:packer
 //msf:noalloc
 func raceKey(rank int32, idx int) uint64 {
 	return uint64(uint32(rank))<<32 | uint64(uint32(idx))
+}
+
+// raceIdx recovers the working-list index from a race key's low half —
+// the only sanctioned decode of a best-slot value.
+//
+//msf:unpacker
+//msf:noalloc
+func raceIdx(key uint64) int {
+	return int(uint32(key))
 }
 
 // writeMin lowers a toward key with a lock-free CAS loop; the slot value
 // is monotonically decreasing so the loop terminates as soon as a
 // smaller-or-equal key is observed.
 //
+//msf:packsink key
 //msf:noalloc
 func writeMin(a *atomic.Uint64, key uint64) {
 	for {
@@ -97,13 +108,17 @@ type run struct {
 
 	edges, spare []wmEdge // full-capacity ping-pong; live prefix is [:m]
 	m            int
-	best         []atomic.Uint64
-	parent, sel  []int32
-	labels       []int32
-	ids          []int32
-	idsLen       int
-	wcount       []int64
-	n, k         int
+	// best holds the per-vertex write-min race slots, rank<<32|index
+	// keys built by raceKey and decoded by raceIdx only.
+	//
+	//msf:packed
+	best        []atomic.Uint64
+	parent, sel []int32
+	labels      []int32
+	ids         []int32
+	idsLen      int
+	wcount      []int64
+	n, k        int
 
 	resetBody, raceBody, winnerBody func(worker, lo, hi int)
 	harvestCountBody                func(int)
@@ -258,7 +273,7 @@ func (r *run) winnerWork(_, lo, hi int) {
 			parent[v] = int32(v)
 			continue
 		}
-		e := edges[uint32(b)]
+		e := edges[raceIdx(b)]
 		sel[v] = e.ID
 		if e.U == int32(v) {
 			parent[v] = e.V
