@@ -82,3 +82,48 @@ func TestCLIPipeline(t *testing.T) {
 		t.Fatalf("tampered forest accepted:\n%s", out)
 	}
 }
+
+// TestCLIDynamicPipeline exercises the dynamic workflow end to end:
+// graphgen -mutations emits a sliding-window stream over a base graph,
+// and msf-verify -replay applies it through the dynamic-MSF subsystem,
+// cross-checking against a scratch Kruskal after every batch.
+func TestCLIDynamicPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bin := func(name string) string { return filepath.Join(dir, name) }
+	for _, tool := range []string{"graphgen", "msf-verify"} {
+		run(t, "go", "build", "-o", bin(tool), "./cmd/"+tool)
+	}
+
+	graphPath := filepath.Join(dir, "base.pmsf")
+	streamPath := filepath.Join(dir, "base.stream")
+
+	// Base graph and stream come from the same family/n/m/seed flags:
+	// the stream's deletions reference the base edges by value.
+	genArgs := []string{"-family", "random", "-n", "800", "-m", "3200", "-seed", "11"}
+	run(t, bin("graphgen"), append(genArgs, "-o", graphPath)...)
+	out := run(t, bin("graphgen"), append(genArgs,
+		"-mutations", "600", "-window", "3200", "-batch", "100", "-o", streamPath)...)
+	if !strings.Contains(out, "stream: 6 batches, ") {
+		t.Fatalf("graphgen stream summary missing:\n%s", out)
+	}
+
+	out = run(t, bin("msf-verify"), "-replay", graphPath, streamPath)
+	if !strings.Contains(out, "OK: replayed 6 batches") {
+		t.Fatalf("replay did not confirm:\n%s", out)
+	}
+	if strings.Count(out, "OK:") < 7 { // 6 per-batch lines + the summary
+		t.Fatalf("expected a verification line per batch:\n%s", out)
+	}
+
+	// A stream over a different vertex count must be refused.
+	otherStream := filepath.Join(dir, "other.stream")
+	run(t, bin("graphgen"), "-family", "random", "-n", "500", "-m", "2000",
+		"-seed", "3", "-mutations", "100", "-o", otherStream)
+	cmd := exec.Command(bin("msf-verify"), "-replay", graphPath, otherStream)
+	if out, err := cmd.CombinedOutput(); err == nil || !strings.Contains(string(out), "n=") {
+		t.Fatalf("mismatched stream accepted: %v\n%s", err, out)
+	}
+}

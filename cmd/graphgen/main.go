@@ -9,6 +9,26 @@
 //	graphgen -family str0 -n 1000000 -o str0.pmsf
 //
 // Families: random, mesh2d, 2d60, 3d40, geometric, str0, str1, str2, str3.
+//
+// With -mutations N the command emits a dynamic-MSF workload instead of
+// a graph: a sliding-window mutation stream over the base graph the
+// other flags describe. Each batch (-batch edges at a time) adds fresh
+// uniform-random edges and deletes the oldest live ones so that at most
+// -window edges stay live (default: the base edge count, i.e. steady
+// size). The output is the text stream format consumed by
+// msf-verify -replay and msf-bench -stream:
+//
+//	pmsf-stream 1
+//	n <vertices>
+//	batch <adds> <dels>
+//	+ <u> <v> <w>
+//	- <u> <v> <w>
+//
+// The stream references the base graph's edges by value, so replay it
+// against a graph generated with the SAME family/n/m/seed flags:
+//
+//	graphgen -family random -n 100000 -m 600000 -seed 7 -o base.pmsf
+//	graphgen -family random -n 100000 -m 600000 -seed 7 -mutations 50000 -o base.stream
 package main
 
 import (
@@ -29,6 +49,9 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	formatName := flag.String("format", "binary", "output format: binary, text, dimacs or metis")
 	weightsName := flag.String("weights", "", "re-draw edge weights: uniform, exponential, small-ints or structured (default: the family's native weights)")
+	mutations := flag.Int("mutations", 0, "emit a sliding-window mutation stream with this many edge additions instead of a graph (see package docs)")
+	window := flag.Int("window", 0, "live-edge window of the mutation stream (default: the base edge count)")
+	batch := flag.Int("batch", 1024, "mutations per batch in the stream")
 	flag.Parse()
 
 	g, err := build(*family, *n, *m, *k, *seed)
@@ -55,6 +78,15 @@ func main() {
 			}
 		}()
 		w = f
+	}
+	if *mutations > 0 {
+		s := gen.SlidingWindowStream(g, *mutations, *window, *batch, *seed+2)
+		if err := graph.WriteEdgeStream(w, s); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "graphgen: %s n=%d base m=%d stream: %d batches, %d mutations\n",
+			*family, g.N, len(g.Edges), len(s.Batches), s.Mutations())
+		return
 	}
 	format, err := graph.ParseFormat(*formatName)
 	if err != nil {

@@ -63,6 +63,7 @@ func main() {
 	metricsFlag := flag.Bool("metrics", false, "with -algo: enable process-wide counters and print the run summary")
 	sortFlag := flag.String("sort", "", "Bor-EL compact-graph engine ("+sortNames()+"; default parallel-radix)")
 	benchJSON := flag.String("benchjson", "", "run the compact-graph engine study and write machine-readable results to this path (e.g. results/BENCH_PR2.json)")
+	dynJSON := flag.String("dynjson", "", "run the dynamic-MSF workload study (sliding-window mutation stream vs per-batch recompute) and write machine-readable results to this path (e.g. results/BENCH_PR10.json)")
 	flag.Parse()
 
 	scale, err := bench.ParseScale(*scaleFlag)
@@ -82,6 +83,12 @@ func main() {
 	cfg := bench.Config{Scale: scale, Seed: *seed, Workers: ps}
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON, cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *dynJSON != "" {
+		if err := writeDynJSON(*dynJSON, cfg); err != nil {
 			fatal(err)
 		}
 		return
@@ -199,6 +206,35 @@ func writeBenchJSON(path string, cfg bench.Config) error {
 	}
 	fmt.Printf("compact-graph engine study: %d measurements (+%d engine-matrix rows) written to %s\n",
 		len(rep.Entries), len(rep.Engines), path)
+	return nil
+}
+
+// writeDynJSON runs the dynamic workload study (batch mutation stream
+// through the dynamic-MSF subsystem vs from-scratch per-batch
+// recompute) and writes the machine-readable report.
+func writeDynJSON(path string, cfg bench.Config) error {
+	rep, err := bench.DynamicBench(cfg)
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("dynamic workload study: %d batches (%d mutations), %.1fx vs %s per-batch recompute (verified=%v) written to %s\n",
+		rep.Batches, rep.Mutations, rep.SpeedupX, rep.BaselineEngine, rep.Verified, path)
 	return nil
 }
 

@@ -12,6 +12,19 @@
 // run of the named engine (any algorithm from the library's catalog):
 // the recomputed forest must match in size, component count, and total
 // weight.
+//
+// With -replay, the second argument is a mutation stream (graphgen
+// -mutations emits one) instead of a forest:
+//
+//	msf-verify -replay [-format ...] graph.pmsf stream.txt
+//
+// The stream is applied batch by batch through the dynamic-MSF
+// subsystem, and after EVERY batch the maintained forest is checked
+// against a from-scratch sequential Kruskal of the mutated graph —
+// matching size, component count, and total weight (relative weight
+// tolerance 1e-9, since summation orders differ). Exit status 0 means
+// the dynamic forest stayed a minimum spanning forest through the whole
+// stream.
 package main
 
 import (
@@ -38,9 +51,10 @@ func main() {
 	formatName := flag.String("format", "binary", "graph format: binary, text, dimacs or metis")
 	algoFlag := flag.String("algo", "", "also cross-check against a fresh run of this engine ("+algoNames()+")")
 	workers := flag.Int("p", 1, "with -algo: worker count for the cross-check run")
+	replay := flag.Bool("replay", false, "treat the second argument as a mutation stream and verify the dynamic MSF after every batch")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fatal(fmt.Errorf("want <graph file> <forest file>, got %d args", flag.NArg()))
+		fatal(fmt.Errorf("want <graph file> <%s file>, got %d args", secondArg(*replay), flag.NArg()))
 	}
 
 	format, err := pmsf.ParseGraphFormat(*formatName)
@@ -50,6 +64,12 @@ func main() {
 	g, err := pmsf.ReadGraphFile(flag.Arg(0), format)
 	if err != nil {
 		fatal(err)
+	}
+	if *replay {
+		if err := replayStream(g, flag.Arg(1)); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	ff, err := os.Open(flag.Arg(1))
 	if err != nil {
@@ -99,6 +119,59 @@ func crossCheck(g *pmsf.Graph, forest *pmsf.Forest, name string, workers int) er
 	}
 	fmt.Printf("OK: %s agrees (size %d, %d components, weight %.6f)\n",
 		algo, ref.Size(), ref.Components, ref.Weight)
+	return nil
+}
+
+func secondArg(replay bool) string {
+	if replay {
+		return "stream"
+	}
+	return "forest"
+}
+
+// replayStream applies the mutation stream through the dynamic-MSF
+// subsystem and verifies the maintained forest against a from-scratch
+// sequential Kruskal after every batch.
+func replayStream(g *pmsf.Graph, path string) error {
+	s, err := pmsf.ReadEdgeStreamFile(path)
+	if err != nil {
+		return err
+	}
+	if s.N != g.N {
+		return fmt.Errorf("replay: stream is for n=%d, graph has n=%d", s.N, g.N)
+	}
+	dyn, err := pmsf.NewDynamic(g, pmsf.SeqKruskal, pmsf.Options{})
+	if err != nil {
+		return err
+	}
+	for i, b := range s.Batches {
+		d, err := dyn.ApplyEdges(b.Add, b.Del)
+		if err != nil {
+			return fmt.Errorf("replay: batch %d/%d: %w", i+1, len(s.Batches), err)
+		}
+		snap, forest := dyn.SnapshotWithForest()
+		if err := pmsf.Verify(snap, forest); err != nil {
+			return fmt.Errorf("replay: batch %d/%d: maintained forest: %w", i+1, len(s.Batches), err)
+		}
+		ref, _, err := pmsf.MinimumSpanningForest(snap, pmsf.SeqKruskal, pmsf.Options{})
+		if err != nil {
+			return fmt.Errorf("replay: batch %d/%d: reference recompute: %w", i+1, len(s.Batches), err)
+		}
+		if ref.Size() != forest.Size() || ref.Components != forest.Components {
+			return fmt.Errorf("replay: batch %d/%d: dynamic forest size %d/%d comps, scratch Kruskal %d/%d",
+				i+1, len(s.Batches), forest.Size(), forest.Components, ref.Size(), ref.Components)
+		}
+		tol := 1e-9 * math.Max(1, math.Abs(ref.Weight))
+		if diff := ref.Weight - forest.Weight; diff > tol || diff < -tol {
+			return fmt.Errorf("replay: batch %d/%d: dynamic weight %.12f, scratch Kruskal %.12f",
+				i+1, len(s.Batches), forest.Weight, ref.Weight)
+		}
+		fmt.Printf("batch %d/%d OK: +%d -%d, m=%d, weight %.6f, %d components (delta: %d links, %d swaps, %d replacements, %d fallbacks)\n",
+			i+1, len(s.Batches), len(b.Add), len(b.Del), len(snap.Edges),
+			forest.Weight, forest.Components, d.Links, d.Swaps, d.Replacements, d.FallbackRecomputes)
+	}
+	fmt.Printf("OK: replayed %d batches (%d mutations) — dynamic forest matched scratch Kruskal after every batch\n",
+		len(s.Batches), s.Mutations())
 	return nil
 }
 

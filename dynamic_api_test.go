@@ -1,0 +1,64 @@
+package pmsf_test
+
+import (
+	"testing"
+
+	"pmsf"
+)
+
+func TestNewDynamicMaintainsMSF(t *testing.T) {
+	g := pmsf.RandomGraph(500, 2000, 21)
+	for _, algo := range []pmsf.Algorithm{pmsf.BorEL, pmsf.MSTBC, pmsf.SeqKruskal} {
+		dyn, err := pmsf.NewDynamic(g, algo, pmsf.Options{Workers: 2, Seed: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		// A few mixed batches, verified against the full pipeline.
+		batches := []struct {
+			add, del []pmsf.Edge
+		}{
+			{add: []pmsf.Edge{{U: 0, V: 499, W: 1e-9}, {U: 7, V: 300, W: 0.5}}},
+			{del: []pmsf.Edge{{U: 0, V: 499, W: 1e-9}}},
+			{add: []pmsf.Edge{{U: 1, V: 2, W: -5}}, del: []pmsf.Edge{g.Edges[0]}},
+		}
+		for i, b := range batches {
+			if _, err := dyn.ApplyEdges(b.add, b.del); err != nil {
+				t.Fatalf("%v batch %d: %v", algo, i, err)
+			}
+			sg, sf := dyn.SnapshotWithForest()
+			if err := pmsf.Verify(sg, sf); err != nil {
+				t.Fatalf("%v batch %d: %v", algo, i, err)
+			}
+		}
+	}
+}
+
+func TestNewDynamicRejectsBadInput(t *testing.T) {
+	if _, err := pmsf.NewDynamic(nil, pmsf.BorEL, pmsf.Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	bad := pmsf.NewGraph(2, []pmsf.Edge{{U: 0, V: 9, W: 1}})
+	if _, err := pmsf.NewDynamic(bad, pmsf.BorEL, pmsf.Options{}); err == nil {
+		t.Fatal("invalid graph accepted")
+	}
+	g := pmsf.RandomGraph(50, 100, 1)
+	if _, err := pmsf.NewDynamic(g, pmsf.Algorithm(99), pmsf.Options{}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestNewDynamicDoesNotMutateCaller(t *testing.T) {
+	g := pmsf.RandomGraph(100, 300, 9)
+	before := len(g.Edges)
+	e0 := g.Edges[0]
+	dyn, err := pmsf.NewDynamic(g, pmsf.BorEL, pmsf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dyn.ApplyEdges([]pmsf.Edge{{U: 0, V: 1, W: 0.5}}, []pmsf.Edge{e0}); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Edges) != before || g.Edges[0] != e0 {
+		t.Fatal("NewDynamic mutated the caller's graph")
+	}
+}

@@ -75,3 +75,13 @@ const (
 func ReweightGraph(g *Graph, d WeightDistribution, seed uint64) *Graph {
 	return gen.Reweight(g, d, seed)
 }
+
+// SlidingWindowMutations builds a reproducible dynamic-MSF workload
+// over g: each batch adds `batch` fresh uniform-random edges and
+// deletes the oldest live ones so at most `window` edges stay live
+// (window <= 0 means the base edge count — a steady-size stream).
+// Exactly `mutations` additions are generated; deletions always name
+// edges live at their batch, the contract Dynamic.ApplyEdges enforces.
+func SlidingWindowMutations(g *Graph, mutations, window, batch int, seed uint64) *EdgeStream {
+	return gen.SlidingWindowStream(g, mutations, window, batch, seed)
+}

@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"pmsf"
+	"pmsf/internal/gen"
+)
+
+// The dynamic-workload study: a sliding-window mutation stream applied
+// through the incremental dynamic-MSF subsystem versus recomputing the
+// forest from scratch after every batch with the library's default
+// engine. msf-bench -dynjson writes the report
+// (results/BENCH_PR10.json); the acceptance bar is >= 5x batch
+// throughput at medium scale (1M-edge base graph, 100k mutations).
+
+// DynamicBenchReport is the machine-readable result of one dynamic
+// workload run.
+type DynamicBenchReport struct {
+	Scale      string `json:"scale"`
+	Seed       uint64 `json:"seed"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+
+	// Workload shape.
+	N         int `json:"n"`
+	BaseEdges int `json:"base_edges"`
+	Mutations int `json:"mutations"`
+	Window    int `json:"window"`
+	Batch     int `json:"batch"`
+	Batches   int `json:"batches"`
+
+	// Incremental side: total ApplyEdges wall time across all batches.
+	DynamicNsTotal    int64   `json:"dynamic_ns_total"`
+	DynamicNsPerBatch int64   `json:"dynamic_ns_per_batch"`
+	DynamicBatchQPS   float64 `json:"dynamic_batch_qps"`
+
+	// Baseline side: from-scratch MinimumSpanningForest with the default
+	// engine on the post-batch graph, sampled on BaselineSampled evenly
+	// spaced batches (running it on every batch would dominate the
+	// study without changing the per-batch estimate).
+	BaselineEngine     string  `json:"baseline_engine"`
+	BaselineWorkers    int     `json:"baseline_workers"`
+	BaselineSampled    int     `json:"baseline_sampled_batches"`
+	BaselineNsPerBatch int64   `json:"baseline_ns_per_batch"`
+	BaselineBatchQPS   float64 `json:"baseline_batch_qps"`
+
+	// SpeedupX is dynamic batch throughput over baseline batch
+	// throughput; Verified reports that the final maintained forest
+	// passed pmsf.Verify and every sampled batch matched the baseline
+	// recompute's weight.
+	SpeedupX float64 `json:"speedup_x"`
+	Verified bool    `json:"verified"`
+
+	// What the stream made the subsystem do.
+	Links              int `json:"links"`
+	Swaps              int `json:"swaps"`
+	Replacements       int `json:"replacements"`
+	Splits             int `json:"splits"`
+	Rebuilds           int `json:"rebuilds"`
+	FallbackRecomputes int `json:"fallback_recomputes"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *DynamicBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// dynamicShape maps a scale to the workload: a random base graph of
+// 5n edges and a steady-size stream. Medium is the acceptance shape
+// (1M-edge base graph, 100k mutations in 1k batches).
+func dynamicShape(s Scale) (n, m, mutations, batch int) {
+	switch s {
+	case Tiny:
+		return 2_000, 10_000, 1_000, 250
+	case Small:
+		return 20_000, 100_000, 10_000, 1_000
+	case Medium:
+		return 200_000, 1_000_000, 100_000, 1_000
+	default:
+		return 1_000_000, 5_000_000, 100_000, 1_000
+	}
+}
+
+// DynamicBench runs the dynamic workload study.
+func DynamicBench(cfg Config) (*DynamicBenchReport, error) {
+	n, m, mutations, batch := dynamicShape(cfg.Scale)
+	baselineAlgo := pmsf.MSTBC
+	workers := cfg.workers()[0]
+
+	g := gen.Random(n, m, cfg.Seed)
+	stream := gen.SlidingWindowStream(g, mutations, m, batch, cfg.Seed+2)
+
+	dyn, err := pmsf.NewDynamic(g, baselineAlgo, pmsf.Options{Workers: workers, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &DynamicBenchReport{
+		Scale:      cfg.Scale.String(),
+		Seed:       cfg.Seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		N:          n,
+		BaseEdges:  m,
+		Mutations:  mutations,
+		Window:     m,
+		Batch:      batch,
+		Batches:    len(stream.Batches),
+
+		BaselineEngine:  baselineAlgo.String(),
+		BaselineWorkers: workers,
+		Verified:        true,
+	}
+
+	// Sample ~10 evenly spaced batches for the baseline recompute.
+	sampleEvery := len(stream.Batches) / 10
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+
+	var dynTotal, baseTotal time.Duration
+	for i, b := range stream.Batches {
+		var d pmsf.DynamicDelta
+		dynTotal += timeIt(func() {
+			var applyErr error
+			d, applyErr = dyn.ApplyEdges(b.Add, b.Del)
+			if applyErr != nil {
+				err = fmt.Errorf("bench: dynamic batch %d: %w", i+1, applyErr)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Links += d.Links
+		rep.Swaps += d.Swaps
+		rep.Replacements += d.Replacements
+		rep.Splits += d.Splits
+		rep.Rebuilds += d.Rebuilds
+		rep.FallbackRecomputes += d.FallbackRecomputes
+
+		if i%sampleEvery == 0 {
+			// Snapshot outside both timed regions: the baseline is the
+			// engine run alone, on an equal-content graph.
+			snap, forest := dyn.SnapshotWithForest()
+			var ref *pmsf.Forest
+			baseTotal += timeIt(func() {
+				var refErr error
+				ref, _, refErr = pmsf.MinimumSpanningForest(snap, baselineAlgo, pmsf.Options{
+					Workers: workers, Seed: cfg.Seed,
+				})
+				if refErr != nil {
+					err = fmt.Errorf("bench: baseline batch %d: %w", i+1, refErr)
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			rep.BaselineSampled++
+			tol := 1e-9 * math.Max(1, math.Abs(ref.Weight))
+			if diff := ref.Weight - forest.Weight; diff > tol || diff < -tol ||
+				ref.Size() != forest.Size() || ref.Components != forest.Components {
+				rep.Verified = false
+			}
+		}
+	}
+
+	snap, forest := dyn.SnapshotWithForest()
+	if verr := pmsf.Verify(snap, forest); verr != nil {
+		rep.Verified = false
+	}
+
+	rep.DynamicNsTotal = dynTotal.Nanoseconds()
+	rep.DynamicNsPerBatch = dynTotal.Nanoseconds() / int64(len(stream.Batches))
+	rep.BaselineNsPerBatch = baseTotal.Nanoseconds() / int64(rep.BaselineSampled)
+	if rep.DynamicNsPerBatch > 0 {
+		rep.DynamicBatchQPS = 1e9 / float64(rep.DynamicNsPerBatch)
+	}
+	if rep.BaselineNsPerBatch > 0 {
+		rep.BaselineBatchQPS = 1e9 / float64(rep.BaselineNsPerBatch)
+		rep.SpeedupX = float64(rep.BaselineNsPerBatch) / float64(rep.DynamicNsPerBatch)
+	}
+	return rep, nil
+}

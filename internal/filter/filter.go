@@ -24,6 +24,8 @@
 package filter
 
 import (
+	"fmt"
+
 	"pmsf/internal/boruvka"
 	"pmsf/internal/graph"
 	"pmsf/internal/obs"
@@ -172,7 +174,12 @@ func Run(g *graph.EdgeList, opt Options) (*graph.Forest, *Stats) {
 	filterSpan := root.Child("filter")
 	keep := make([]bool, m)
 	c.Labeled(name, "filter", func() {
-		idx := pathmax.Build(g, forestIDs)
+		idx, err := pathmax.Build(g, forestIDs)
+		if err != nil {
+			// forestIDs come from an engine-produced sample MSF; a
+			// non-forest here is a library bug, not an input condition.
+			panic(fmt.Sprintf("filter: sample MSF is not a forest: %v", err))
+		}
 		for _, id := range forestIDs {
 			keep[id] = true
 		}

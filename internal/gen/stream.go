@@ -1,0 +1,71 @@
+package gen
+
+import (
+	"pmsf/internal/graph"
+	"pmsf/internal/rng"
+)
+
+// SlidingWindowStream builds a reproducible dynamic-MSF workload over a
+// base graph g: a FIFO window of live edges is seeded with g's edge
+// list, then each batch appends `batch` fresh uniform-random edges
+// (adds) and evicts edges from the front of the window (dels) until at
+// most `window` live edges remain. With window = len(g.Edges) this is
+// the classic sliding-window stream: every batch adds K edges and
+// deletes the K oldest ones, so the live graph keeps a steady size
+// while its content turns over — the "millions of users streaming small
+// mutations" shape the dynamic subsystem exists for.
+//
+// Exactly `mutations` add-mutations are generated (the last batch may
+// be short). Deletions always reference edges that are live at their
+// batch (base edges first, then earlier adds), which is the contract
+// dynmsf.ApplyEdges enforces.
+func SlidingWindowStream(g *graph.EdgeList, mutations, window, batch int, seed uint64) *graph.EdgeStream {
+	if batch <= 0 {
+		batch = 1024
+	}
+	if window <= 0 {
+		window = len(g.Edges)
+	}
+	r := rng.New(seed)
+	s := &graph.EdgeStream{N: g.N}
+	fifo := make([]graph.Edge, len(g.Edges), len(g.Edges)+batch)
+	copy(fifo, g.Edges)
+	head := 0 // fifo[head:] are live
+	for produced := 0; produced < mutations; {
+		k := batch
+		if mutations-produced < k {
+			k = mutations - produced
+		}
+		var b graph.MutationBatch
+		for i := 0; i < k; i++ {
+			b.Add = append(b.Add, randomEdge(g.N, r))
+		}
+		fifo = append(fifo, b.Add...)
+		for len(fifo)-head > window {
+			b.Del = append(b.Del, fifo[head])
+			head++
+		}
+		// Reclaim consumed prefix occasionally so memory stays O(window).
+		if head > window && head > len(fifo)/2 {
+			fifo = append(fifo[:0:0], fifo[head:]...)
+			head = 0
+		}
+		s.Batches = append(s.Batches, b)
+		produced += k
+	}
+	return s
+}
+
+// randomEdge draws one uniform non-self-loop edge with a uniform [0,1)
+// weight.
+func randomEdge(n int, r *rng.Xoshiro256) graph.Edge {
+	if n < 2 {
+		return graph.Edge{U: 0, V: 0, W: r.Float64()}
+	}
+	u := int32(r.Intn(n))
+	v := int32(r.Intn(n - 1))
+	if v >= u {
+		v++
+	}
+	return graph.Edge{U: u, V: v, W: r.Float64()}
+}

@@ -1,0 +1,109 @@
+package gen
+
+import (
+	"testing"
+
+	"pmsf/internal/graph"
+)
+
+// applyValueStream replays a stream against a multiset of live edges,
+// failing if any deletion misses — the contract the generator promises.
+func applyValueStream(t *testing.T, g *graph.EdgeList, s *graph.EdgeStream) map[graph.Edge]int {
+	t.Helper()
+	live := map[graph.Edge]int{}
+	for _, e := range g.Edges {
+		live[e]++
+	}
+	for bi, b := range s.Batches {
+		for _, e := range b.Add {
+			live[e]++
+		}
+		for _, e := range b.Del {
+			if live[e] == 0 {
+				t.Fatalf("batch %d deletes %+v which is not live", bi, e)
+			}
+			live[e]--
+			if live[e] == 0 {
+				delete(live, e)
+			}
+		}
+	}
+	return live
+}
+
+func TestSlidingWindowStreamSteadyState(t *testing.T) {
+	g := Random(200, 1000, 7)
+	s := SlidingWindowStream(g, 500, len(g.Edges), 100, 99)
+	if s.N != g.N {
+		t.Fatalf("stream n=%d, want %d", s.N, g.N)
+	}
+	adds := 0
+	for i, b := range s.Batches {
+		adds += len(b.Add)
+		if len(b.Add) != len(b.Del) {
+			t.Fatalf("batch %d: %d adds vs %d dels — steady state should turn over exactly", i, len(b.Add), len(b.Del))
+		}
+	}
+	if adds != 500 {
+		t.Fatalf("total adds = %d, want 500", adds)
+	}
+	live := applyValueStream(t, g, s)
+	total := 0
+	for _, c := range live {
+		total += c
+	}
+	if total != len(g.Edges) {
+		t.Fatalf("live edges after replay = %d, want window size %d", total, len(g.Edges))
+	}
+}
+
+func TestSlidingWindowStreamShrinkingWindow(t *testing.T) {
+	g := Random(100, 600, 3)
+	// Window smaller than the base: early batches delete more than they add.
+	s := SlidingWindowStream(g, 120, 300, 40, 5)
+	applyValueStream(t, g, s)
+	first := s.Batches[0]
+	if len(first.Del) <= len(first.Add) {
+		t.Fatalf("first batch should shrink toward the window: %d adds, %d dels", len(first.Add), len(first.Del))
+	}
+}
+
+func TestSlidingWindowStreamDeterministic(t *testing.T) {
+	g := Random(50, 200, 1)
+	a := SlidingWindowStream(g, 100, 200, 30, 42)
+	b := SlidingWindowStream(g, 100, 200, 30, 42)
+	if len(a.Batches) != len(b.Batches) {
+		t.Fatal("batch counts differ across identical seeds")
+	}
+	for i := range a.Batches {
+		for j := range a.Batches[i].Add {
+			if a.Batches[i].Add[j] != b.Batches[i].Add[j] {
+				t.Fatalf("batch %d add %d differs across identical seeds", i, j)
+			}
+		}
+	}
+	c := SlidingWindowStream(g, 100, 200, 30, 43)
+	same := true
+	for i := range a.Batches {
+		for j := range a.Batches[i].Add {
+			if a.Batches[i].Add[j] != c.Batches[i].Add[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestSlidingWindowStreamNoSelfLoops(t *testing.T) {
+	g := Random(10, 30, 2)
+	s := SlidingWindowStream(g, 200, 30, 50, 11)
+	for _, b := range s.Batches {
+		for _, e := range b.Add {
+			if e.U == e.V {
+				t.Fatalf("generated self-loop %+v", e)
+			}
+		}
+	}
+}

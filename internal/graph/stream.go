@@ -1,0 +1,202 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// MutationBatch is one batch of edge mutations against a graph: edges
+// to add and edges to delete. Deletions identify edges by value
+// (endpoints in either orientation plus exact weight), not by index, so
+// a batch is meaningful against any equal-content copy of the graph.
+type MutationBatch struct {
+	Add []Edge
+	Del []Edge
+}
+
+// EdgeStream is a reproducible mutation workload: an ordered sequence
+// of batches against a graph with N vertices. It is the on-disk unit of
+// the dynamic-MSF tooling (graphgen -mutations emits one, msf-verify
+// -replay and msf-bench's dynamic mode consume one).
+type EdgeStream struct {
+	N       int
+	Batches []MutationBatch
+}
+
+// Mutations returns the total add+del count across all batches.
+func (s *EdgeStream) Mutations() int {
+	total := 0
+	for _, b := range s.Batches {
+		total += len(b.Add) + len(b.Del)
+	}
+	return total
+}
+
+// WriteEdgeStream writes s in the library's text stream format:
+//
+//	pmsf-stream 1
+//	n <vertices>
+//	batch <adds> <dels>
+//	+ <u> <v> <w>      (adds, one per line)
+//	- <u> <v> <w>      (dels, one per line)
+//	batch ...
+//
+// Weights are printed with %g round-tripping through strconv, vertices
+// are 0-indexed, and '#' starts a comment line.
+func WriteEdgeStream(w io.Writer, s *EdgeStream) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "pmsf-stream 1\nn %d\n", s.N); err != nil {
+		return err
+	}
+	for _, b := range s.Batches {
+		if _, err := fmt.Fprintf(bw, "batch %d %d\n", len(b.Add), len(b.Del)); err != nil {
+			return err
+		}
+		for _, e := range b.Add {
+			if _, err := fmt.Fprintf(bw, "+ %d %d %s\n", e.U, e.V, formatWeight(e.W)); err != nil {
+				return err
+			}
+		}
+		for _, e := range b.Del {
+			if _, err := fmt.Fprintf(bw, "- %d %d %s\n", e.U, e.V, formatWeight(e.W)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// formatWeight renders w so ParseFloat round-trips it exactly.
+func formatWeight(w Weight) string {
+	return strconv.FormatFloat(w, 'g', -1, 64)
+}
+
+// ReadEdgeStream parses the text stream format written by
+// WriteEdgeStream. Structural errors (unknown line types, counts not
+// matching the batch header, out-of-range vertices once n is known, NaN
+// weights) are rejected with line numbers.
+func ReadEdgeStream(r io.Reader) (*EdgeStream, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	s := &EdgeStream{N: -1}
+	var cur *MutationBatch
+	wantAdd, wantDel := 0, 0
+	lineNo := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "pmsf-stream":
+			if sawHeader {
+				return nil, fmt.Errorf("stream: line %d: duplicate header", lineNo)
+			}
+			if len(fields) != 2 || fields[1] != "1" {
+				return nil, fmt.Errorf("stream: line %d: unsupported version %q", lineNo, line)
+			}
+			sawHeader = true
+		case "n":
+			if !sawHeader {
+				return nil, fmt.Errorf("stream: line %d: missing pmsf-stream header", lineNo)
+			}
+			if s.N >= 0 {
+				return nil, fmt.Errorf("stream: line %d: duplicate n line", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("stream: line %d: want \"n <vertices>\"", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("stream: line %d: bad vertex count %q", lineNo, fields[1])
+			}
+			s.N = n
+		case "batch":
+			if s.N < 0 {
+				return nil, fmt.Errorf("stream: line %d: batch before n line", lineNo)
+			}
+			if wantAdd != 0 || wantDel != 0 {
+				return nil, fmt.Errorf("stream: line %d: previous batch short by %d adds, %d dels", lineNo, wantAdd, wantDel)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("stream: line %d: want \"batch <adds> <dels>\"", lineNo)
+			}
+			a, err1 := strconv.Atoi(fields[1])
+			d, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || a < 0 || d < 0 {
+				return nil, fmt.Errorf("stream: line %d: bad batch counts %q", lineNo, line)
+			}
+			s.Batches = append(s.Batches, MutationBatch{})
+			cur = &s.Batches[len(s.Batches)-1]
+			wantAdd, wantDel = a, d
+		case "+", "-":
+			if cur == nil {
+				return nil, fmt.Errorf("stream: line %d: mutation before batch line", lineNo)
+			}
+			e, err := parseStreamEdge(fields, s.N)
+			if err != nil {
+				return nil, fmt.Errorf("stream: line %d: %w", lineNo, err)
+			}
+			if fields[0] == "+" {
+				if wantAdd == 0 {
+					return nil, fmt.Errorf("stream: line %d: more adds than the batch header declared", lineNo)
+				}
+				cur.Add = append(cur.Add, e)
+				wantAdd--
+			} else {
+				if wantDel == 0 {
+					return nil, fmt.Errorf("stream: line %d: more dels than the batch header declared", lineNo)
+				}
+				cur.Del = append(cur.Del, e)
+				wantDel--
+			}
+		default:
+			return nil, fmt.Errorf("stream: line %d: unknown line type %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("stream: missing pmsf-stream header")
+	}
+	if s.N < 0 {
+		return nil, fmt.Errorf("stream: missing n line")
+	}
+	if wantAdd != 0 || wantDel != 0 {
+		return nil, fmt.Errorf("stream: final batch short by %d adds, %d dels", wantAdd, wantDel)
+	}
+	return s, nil
+}
+
+func parseStreamEdge(fields []string, n int) (Edge, error) {
+	if len(fields) != 4 {
+		return Edge{}, fmt.Errorf("want \"%s <u> <v> <w>\"", fields[0])
+	}
+	u, err := strconv.ParseInt(fields[1], 10, 32)
+	if err != nil {
+		return Edge{}, err
+	}
+	v, err := strconv.ParseInt(fields[2], 10, 32)
+	if err != nil {
+		return Edge{}, err
+	}
+	w, err := strconv.ParseFloat(fields[3], 64)
+	if err != nil {
+		return Edge{}, err
+	}
+	if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+		return Edge{}, fmt.Errorf("vertex out of range [0,%d)", n)
+	}
+	if math.IsNaN(w) {
+		return Edge{}, fmt.Errorf("NaN weight")
+	}
+	return Edge{U: int32(u), V: int32(v), W: w}, nil
+}

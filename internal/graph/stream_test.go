@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleStream() *EdgeStream {
+	return &EdgeStream{
+		N: 5,
+		Batches: []MutationBatch{
+			{Add: []Edge{{U: 0, V: 1, W: 1.5}, {U: 2, V: 3, W: -2.25}}},
+			{Add: []Edge{{U: 4, V: 0, W: 0.1234567890123}}, Del: []Edge{{U: 0, V: 1, W: 1.5}}},
+			{Del: []Edge{{U: 2, V: 3, W: -2.25}}},
+		},
+	}
+}
+
+func TestEdgeStreamRoundTrip(t *testing.T) {
+	s := sampleStream()
+	var buf bytes.Buffer
+	if err := WriteEdgeStream(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != s.N || len(got.Batches) != len(s.Batches) {
+		t.Fatalf("round trip: got n=%d batches=%d, want n=%d batches=%d",
+			got.N, len(got.Batches), s.N, len(s.Batches))
+	}
+	for i, b := range s.Batches {
+		gb := got.Batches[i]
+		if len(gb.Add) != len(b.Add) || len(gb.Del) != len(b.Del) {
+			t.Fatalf("batch %d: got %d/%d, want %d/%d", i, len(gb.Add), len(gb.Del), len(b.Add), len(b.Del))
+		}
+		for j := range b.Add {
+			if gb.Add[j] != b.Add[j] {
+				t.Fatalf("batch %d add %d: got %+v, want %+v (weights must round-trip exactly)", i, j, gb.Add[j], b.Add[j])
+			}
+		}
+		for j := range b.Del {
+			if gb.Del[j] != b.Del[j] {
+				t.Fatalf("batch %d del %d: got %+v, want %+v", i, j, gb.Del[j], b.Del[j])
+			}
+		}
+	}
+	if m := got.Mutations(); m != 5 {
+		t.Fatalf("Mutations() = %d, want 5", m)
+	}
+}
+
+func TestEdgeStreamRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"no header", "n 5\n", "header"},
+		{"bad version", "pmsf-stream 9\n", "version"},
+		{"batch before n", "pmsf-stream 1\nbatch 0 0\n", "before n"},
+		{"short batch", "pmsf-stream 1\nn 5\nbatch 2 0\n+ 0 1 1\n", "short by 1 adds"},
+		{"extra add", "pmsf-stream 1\nn 5\nbatch 0 0\n+ 0 1 1\n", "more adds"},
+		{"vertex range", "pmsf-stream 1\nn 2\nbatch 1 0\n+ 0 7 1\n", "out of range"},
+		{"nan weight", "pmsf-stream 1\nn 2\nbatch 1 0\n+ 0 1 NaN\n", "NaN"},
+		{"mutation before batch", "pmsf-stream 1\nn 2\n+ 0 1 1\n", "before batch"},
+		{"unknown line", "pmsf-stream 1\nn 2\nzzz\n", "unknown line"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadEdgeStream(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestEdgeStreamCommentsAndBlanks(t *testing.T) {
+	in := "# workload\npmsf-stream 1\n\nn 3\n# first batch\nbatch 1 0\n+ 0 2 3.5\n"
+	s, err := ReadEdgeStream(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 || len(s.Batches) != 1 || s.Batches[0].Add[0] != (Edge{U: 0, V: 2, W: 3.5}) {
+		t.Fatalf("parsed %+v", s)
+	}
+}

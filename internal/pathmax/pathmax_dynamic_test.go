@@ -1,0 +1,189 @@
+package pathmax
+
+// Tests of the PR 10 promotion: explicit Build errors on non-forest
+// input and the incremental RebuildRegion/Assign/Comp API the dynamic
+// MSF layer relies on.
+
+import (
+	"strings"
+	"testing"
+
+	"pmsf/internal/graph"
+	"pmsf/internal/rng"
+)
+
+// mustBuild is the test-side shim over the error-returning Build.
+func mustBuild(t *testing.T, g *graph.EdgeList, ids []int32) *Index {
+	t.Helper()
+	idx, err := Build(g, ids)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return idx
+}
+
+func TestBuildRejectsNonForest(t *testing.T) {
+	line := &graph.EdgeList{N: 4, Edges: []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 2, V: 0, W: 3}, {U: 2, V: 3, W: 4},
+		{U: 1, V: 1, W: 5},
+	}}
+	cases := []struct {
+		name string
+		ids  []int32
+		want string
+	}{
+		{"cycle", []int32{0, 1, 2}, "not a forest"},
+		{"duplicate id", []int32{0, 0}, "not a forest"},
+		{"out of range", []int32{99}, "out of range"},
+		{"negative id", []int32{-1}, "out of range"},
+		{"self-loop", []int32{4}, "self-loop"},
+		{"edges on empty graph", nil, "empty graph"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := line
+			ids := tc.ids
+			if tc.name == "edges on empty graph" {
+				g = &graph.EdgeList{N: 0}
+				ids = []int32{0}
+			}
+			if _, err := Build(g, ids); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Build(%v) error = %v, want containing %q", ids, err, tc.want)
+			}
+		})
+	}
+	if _, err := Build(line, []int32{0, 1, 3}); err != nil {
+		t.Fatalf("valid forest rejected: %v", err)
+	}
+}
+
+// forestAdj materializes the adjacency closure RebuildRegion consumes.
+func forestAdj(g *graph.EdgeList, ids []int32) func(int32) []Arc {
+	adj := make([][]Arc, g.N)
+	for _, id := range ids {
+		e := g.Edges[id]
+		adj[e.U] = append(adj[e.U], Arc{To: e.V, EID: id})
+		adj[e.V] = append(adj[e.V], Arc{To: e.U, EID: id})
+	}
+	return func(v int32) []Arc { return adj[v] }
+}
+
+// TestRebuildRegionMatchesFullBuild mutates one tree of a two-tree
+// forest and checks that rebuilding only that tree's region yields the
+// same answers as a from-scratch Build, while the untouched tree's rows
+// were never recomputed.
+func TestRebuildRegionMatchesFullBuild(t *testing.T) {
+	// Tree A: 0-1-2-3 path. Tree B: 4-5, 4-6 star.
+	g := &graph.EdgeList{N: 7, Edges: []graph.Edge{
+		{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 3}, {U: 2, V: 3, W: 8},
+		{U: 4, V: 5, W: 2}, {U: 4, V: 6, W: 9},
+		{U: 0, V: 2, W: 1}, // replacement edge for the mutation below
+	}}
+	idx := mustBuild(t, g, []int32{0, 1, 2, 3, 4})
+
+	// Mutate tree A: swap edge 0 (0-1 w5) for edge 5 (0-2 w1).
+	newIDs := []int32{5, 1, 2, 3, 4}
+	trees := idx.RebuildRegion([]int32{0, 1, 2, 3}, forestAdj(g, newIDs))
+	if len(trees) != 1 {
+		t.Fatalf("region rebuild found %d trees, want 1", len(trees))
+	}
+	if len(trees[0].Verts) != 4 || trees[0].Verts[0] != trees[0].Root {
+		t.Fatalf("tree = %+v, want 4 verts with root first", trees[0])
+	}
+
+	ref := mustBuild(t, g, newIDs)
+	for u := int32(0); u < 7; u++ {
+		for v := int32(0); v < 7; v++ {
+			if got, want := idx.Query(u, v), ref.Query(u, v); got != want {
+				t.Fatalf("Query(%d,%d) = %d after region rebuild, want %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+// TestRebuildRegionSplit cuts a tree edge and verifies the rebuild
+// reports both fragments with exact membership.
+func TestRebuildRegionSplit(t *testing.T) {
+	g := &graph.EdgeList{N: 6, Edges: []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 2, V: 3, W: 3},
+		{U: 3, V: 4, W: 4}, {U: 4, V: 5, W: 5},
+	}}
+	idx := mustBuild(t, g, []int32{0, 1, 2, 3, 4})
+	// Cut edge 2 (2-3): fragments {0,1,2} and {3,4,5}.
+	cut := []int32{0, 1, 3, 4}
+	trees := idx.RebuildRegion([]int32{0, 1, 2, 3, 4, 5}, forestAdj(g, cut))
+	if len(trees) != 2 {
+		t.Fatalf("got %d trees after cut, want 2", len(trees))
+	}
+	sizes := map[int32]int{}
+	for _, tr := range trees {
+		sizes[tr.Root] = len(tr.Verts)
+		for _, v := range tr.Verts {
+			if idx.Comp(v) != tr.Root {
+				t.Fatalf("Comp(%d) = %d, want %d", v, idx.Comp(v), tr.Root)
+			}
+		}
+	}
+	if idx.SameTree(0, 3) {
+		t.Fatal("vertices 0 and 3 still report one tree after the cut")
+	}
+	if idx.Query(0, 2) != 1 {
+		t.Fatalf("Query(0,2) = %d, want 1", idx.Query(0, 2))
+	}
+	if idx.Query(0, 5) != -1 {
+		t.Fatalf("Query(0,5) = %d across fragments, want -1", idx.Query(0, 5))
+	}
+	_ = sizes
+}
+
+func TestAssignRelabelsMembershipOnly(t *testing.T) {
+	g := &graph.EdgeList{N: 4, Edges: []graph.Edge{{U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 2}}}
+	idx := mustBuild(t, g, []int32{0, 1})
+	if idx.SameTree(0, 2) {
+		t.Fatal("distinct trees reported equal")
+	}
+	// Pretend a link merged {2,3} into 0's tree.
+	idx.Assign([]int32{2, 3}, idx.Comp(0))
+	if !idx.SameTree(0, 2) || idx.Comp(3) != idx.Comp(0) {
+		t.Fatal("Assign did not relabel membership")
+	}
+}
+
+// TestRebuildRegionRandomAgainstFullBuild drives random edit sessions:
+// random forests, random single-tree edits, region rebuild vs full
+// rebuild equivalence over all pairs.
+func TestRebuildRegionRandomAgainstFullBuild(t *testing.T) {
+	r := rng.New(12345)
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + r.Intn(40)
+		g := &graph.EdgeList{N: n}
+		var ids []int32
+		for v := 1; v < n; v++ {
+			if r.Intn(4) == 0 {
+				continue
+			}
+			u := int32(r.Intn(v))
+			g.Edges = append(g.Edges, graph.Edge{U: u, V: int32(v), W: r.Float64()})
+			ids = append(ids, int32(len(g.Edges)-1))
+		}
+		idx := mustBuild(t, g, ids)
+		// Drop a random forest edge, rebuild the whole vertex set as one
+		// region (a legal region: union of all trees).
+		if len(ids) > 0 {
+			drop := r.Intn(len(ids))
+			ids = append(ids[:drop], ids[drop+1:]...)
+		}
+		all := make([]int32, n)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		idx.RebuildRegion(all, forestAdj(g, ids))
+		ref := mustBuild(t, g, ids)
+		for q := 0; q < 60; q++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if got, want := idx.Query(u, v), ref.Query(u, v); got != want {
+				t.Fatalf("n=%d trial=%d: Query(%d,%d) = %d, want %d", n, trial, u, v, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package pathmax
+
+// Tests of the level-0 maintenance surface (ChildEnd / InSubtree /
+// Rehang / QueryWalk) the dynamic-MSF layer uses to keep mutated trees
+// queryable without an O(tree) rebuild per mutation.
+
+import (
+	"testing"
+
+	"pmsf/internal/graph"
+	"pmsf/internal/rng"
+)
+
+func TestChildEndIsDeeperEndpoint(t *testing.T) {
+	g := &graph.EdgeList{N: 5, Edges: []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 1, V: 3, W: 3}, {U: 3, V: 4, W: 4},
+	}}
+	idx := mustBuild(t, g, []int32{0, 1, 2, 3})
+	for eid := int32(0); eid < 4; eid++ {
+		b := idx.ChildEnd(eid)
+		e := g.Edges[eid]
+		other := e.U + e.V - b
+		// The child is the endpoint whose parent is the other endpoint.
+		if idx.up[0][b] != other {
+			t.Fatalf("ChildEnd(%d) = %d, but its parent is %d, want %d", eid, b, idx.up[0][b], other)
+		}
+	}
+}
+
+func TestInSubtree(t *testing.T) {
+	// Path 0-1-2-3-4 plus a separate tree 5-6.
+	g := &graph.EdgeList{N: 7, Edges: []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 2, V: 3, W: 3},
+		{U: 3, V: 4, W: 4}, {U: 5, V: 6, W: 5},
+	}}
+	idx := mustBuild(t, g, []int32{0, 1, 2, 3, 4})
+	// Whatever the rooting, exactly one endpoint of the path is the
+	// root, and every vertex is in the root's subtree.
+	root := idx.Comp(0)
+	for v := int32(0); v < 5; v++ {
+		if !idx.InSubtree(v, root) {
+			t.Fatalf("InSubtree(%d, root %d) = false", v, root)
+		}
+		if !idx.InSubtree(v, v) {
+			t.Fatalf("InSubtree(%d, %d) = false, want true for self", v, v)
+		}
+	}
+	// A deeper vertex's subtree never contains its own ancestor.
+	for v := int32(0); v < 5; v++ {
+		p := idx.up[0][v]
+		if p != v && idx.InSubtree(p, v) {
+			t.Fatalf("InSubtree(parent %d, child %d) = true", p, v)
+		}
+	}
+	// Cross-tree membership walks off the other root and returns false.
+	if idx.InSubtree(5, root) || idx.InSubtree(0, 5) {
+		t.Fatal("InSubtree crossed trees")
+	}
+}
+
+func TestQueryWalkMatchesQueryOnCleanIndex(t *testing.T) {
+	r := rng.New(777)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(30)
+		g := &graph.EdgeList{N: n}
+		var ids []int32
+		for v := 1; v < n; v++ {
+			if r.Intn(5) == 0 {
+				continue
+			}
+			g.Edges = append(g.Edges, graph.Edge{U: int32(r.Intn(v)), V: int32(v), W: r.Float64()})
+			ids = append(ids, int32(len(g.Edges)-1))
+		}
+		idx := mustBuild(t, g, ids)
+		for u := int32(0); u < int32(n); u++ {
+			for v := int32(0); v < int32(n); v++ {
+				if got, want := idx.QueryWalk(u, v), idx.Query(u, v); got != want {
+					t.Fatalf("n=%d trial=%d: QueryWalk(%d,%d) = %d, Query = %d", n, trial, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRehangSwapKeepsLevel0Exact performs cycle-rule swaps exactly the
+// way the dynamic layer does — cut tree edge q, Rehang the cut-off side
+// under the new edge — and checks QueryWalk against a from-scratch
+// Build on the post-swap forest, without ever rebuilding the index.
+func TestRehangSwapKeepsLevel0Exact(t *testing.T) {
+	r := rng.New(424242)
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + r.Intn(30)
+		g := &graph.EdgeList{N: n}
+		ids := make([]int32, 0, n-1)
+		for v := 1; v < n; v++ { // spanning tree: every vertex attached
+			g.Edges = append(g.Edges, graph.Edge{U: int32(r.Intn(v)), V: int32(v), W: r.Float64()})
+			ids = append(ids, int32(len(g.Edges)-1))
+		}
+		idx := mustBuild(t, g, ids)
+		live := map[int32]bool{}
+		for _, id := range ids {
+			live[id] = true
+		}
+		for swap := 0; swap < 8; swap++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if u == v {
+				continue
+			}
+			q := idx.QueryWalk(u, v)
+			qe := g.Edges[q]
+			// A new edge lighter than the path max displaces it.
+			g.Edges = append(g.Edges, graph.Edge{U: u, V: v, W: qe.W * r.Float64()})
+			id := int32(len(g.Edges) - 1)
+			if g.Edges[id].W >= qe.W {
+				continue
+			}
+			b := idx.ChildEnd(q)
+			x, y := u, v
+			if !idx.InSubtree(x, b) {
+				x, y = v, u
+			}
+			idx.Rehang(x, b, y, id)
+			delete(live, q)
+			live[id] = true
+		}
+		cur := make([]int32, 0, len(live))
+		for id := range live {
+			cur = append(cur, id)
+		}
+		ref := mustBuild(t, g, cur)
+		for u := int32(0); u < int32(n); u++ {
+			for v := int32(0); v < int32(n); v++ {
+				if got, want := idx.QueryWalk(u, v), ref.Query(u, v); got != want {
+					t.Fatalf("n=%d trial=%d: QueryWalk(%d,%d) = %d after swaps, want %d", n, trial, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRehangLinkMergesTrees exercises the other Rehang caller: linking
+// two trees by reversing the loser root's chain onto the winner.
+func TestRehangLinkMergesTrees(t *testing.T) {
+	// Two paths: 0-1-2 and 3-4-5.
+	g := &graph.EdgeList{N: 6, Edges: []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2},
+		{U: 3, V: 4, W: 3}, {U: 4, V: 5, W: 4},
+	}}
+	idx := mustBuild(t, g, []int32{0, 1, 2, 3})
+	// Link with a new edge 2-3; hang tree B (root = Comp(3)) under 2.
+	g.Edges = append(g.Edges, graph.Edge{U: 2, V: 3, W: 0.5})
+	id := int32(len(g.Edges) - 1)
+	idx.Rehang(3, idx.Comp(3), 2, id)
+	idx.Assign([]int32{3, 4, 5}, idx.Comp(0))
+	ref := mustBuild(t, g, []int32{0, 1, 2, 3, 4})
+	for u := int32(0); u < 6; u++ {
+		for v := int32(0); v < 6; v++ {
+			if got, want := idx.QueryWalk(u, v), ref.Query(u, v); got != want {
+				t.Fatalf("QueryWalk(%d,%d) = %d after link, want %d", u, v, got, want)
+			}
+		}
+	}
+}

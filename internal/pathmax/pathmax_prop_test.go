@@ -33,7 +33,7 @@ func TestQueryPropertyOnRandomForests(t *testing.T) {
 	f := func(seed uint64) bool {
 		n := 2 + int(seed%120)
 		g, ids := randomForest(n, seed)
-		idx := Build(g, ids)
+		idx := mustBuild(t, g, ids)
 		r := rng.New(seed ^ 0xf00)
 		for trial := 0; trial < 50; trial++ {
 			u := int32(r.Intn(n))

@@ -61,7 +61,7 @@ func bruteMax(g *graph.EdgeList, forestIDs []int32, u, v int32) int32 {
 func TestQueryMatchesBruteForce(t *testing.T) {
 	g := gen.Random(300, 1200, 1)
 	f := seq.Kruskal(g)
-	idx := Build(g, f.EdgeIDs)
+	idx := mustBuild(t, g, f.EdgeIDs)
 	r := rng.New(2)
 	for trial := 0; trial < 2000; trial++ {
 		u := int32(r.Intn(g.N))
@@ -80,7 +80,7 @@ func TestQueryMatchesBruteForce(t *testing.T) {
 func TestQueryDisconnected(t *testing.T) {
 	g := gen.Random(400, 250, 3) // many components
 	f := seq.Kruskal(g)
-	idx := Build(g, f.EdgeIDs)
+	idx := mustBuild(t, g, f.EdgeIDs)
 	r := rng.New(4)
 	for trial := 0; trial < 500; trial++ {
 		u := int32(r.Intn(g.N))
@@ -99,7 +99,7 @@ func TestQueryDisconnected(t *testing.T) {
 func TestQuerySelf(t *testing.T) {
 	g := gen.Random(50, 100, 5)
 	f := seq.Kruskal(g)
-	idx := Build(g, f.EdgeIDs)
+	idx := mustBuild(t, g, f.EdgeIDs)
 	if idx.Query(7, 7) != -1 {
 		t.Fatal("self query must be -1")
 	}
@@ -112,7 +112,7 @@ func TestQueryWeight(t *testing.T) {
 	g := &graph.EdgeList{N: 3, Edges: []graph.Edge{
 		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 5},
 	}}
-	idx := Build(g, []int32{0, 1})
+	idx := mustBuild(t, g, []int32{0, 1})
 	w, ok := idx.QueryWeight(0, 2)
 	if !ok || w != 5 {
 		t.Fatalf("QueryWeight = %g,%v", w, ok)
@@ -120,7 +120,7 @@ func TestQueryWeight(t *testing.T) {
 }
 
 func TestEmptyGraph(t *testing.T) {
-	idx := Build(&graph.EdgeList{N: 0}, nil)
+	idx := mustBuild(t, &graph.EdgeList{N: 0}, nil)
 	_ = idx // no panic
 }
 
@@ -134,7 +134,7 @@ func TestDeepPath(t *testing.T) {
 	for i := range ids {
 		ids[i] = int32(i)
 	}
-	idx := Build(g, ids)
+	idx := mustBuild(t, g, ids)
 	// Max on the path 0..n-1 is the last edge.
 	if got := idx.Query(0, n-1); got != int32(n-2) {
 		t.Fatalf("deep path max = %d", got)

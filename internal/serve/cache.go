@@ -83,6 +83,28 @@ func (c *Cache) Put(k CacheKey, res *Result) {
 	}
 }
 
+// DropGraph removes every entry computed against the given graph
+// fingerprint. Edge patches call it so a mutated graph can never be
+// answered from a stale forest. Returns the number of entries dropped.
+func (c *Cache) DropGraph(fp uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for k, el := range c.items {
+		if k.Graph != fp {
+			continue
+		}
+		c.ll.Remove(el)
+		delete(c.items, k)
+		dropped++
+	}
+	if dropped > 0 && c.metrics != nil {
+		c.metrics.CacheInvalidations.Add(int64(dropped))
+		c.metrics.CacheEntries.Set(int64(c.ll.Len()))
+	}
+	return dropped
+}
+
 // Len returns the number of cached results.
 func (c *Cache) Len() int {
 	c.mu.Lock()

@@ -36,6 +36,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/graphs/{name}", s.limited(s.handleRegisterGraph))
 	mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
 	mux.HandleFunc("DELETE /v1/graphs/{name}", s.limited(s.handleRemoveGraph))
+	mux.HandleFunc("PATCH /v1/graphs/{name}/edges", s.limited(s.handlePatchEdges))
 	mux.HandleFunc("POST /v1/queries", s.limited(s.handleQuery))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
@@ -244,6 +245,149 @@ func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
+}
+
+// PatchEdge is one edge in a PATCH body.
+type PatchEdge struct {
+	U int32   `json:"u"`
+	V int32   `json:"v"`
+	W float64 `json:"w"`
+}
+
+// PatchRequest is the PATCH /v1/graphs/{name}/edges body: one atomic
+// batch of edge mutations. Deletions identify edges by value (either
+// orientation, exact weight) among the edges live before the batch.
+type PatchRequest struct {
+	Add []PatchEdge `json:"add,omitempty"`
+	Del []PatchEdge `json:"del,omitempty"`
+}
+
+// PatchDelta is the applied-batch report in a PATCH response.
+type PatchDelta struct {
+	Added              int     `json:"added"`
+	Deleted            int     `json:"deleted"`
+	Links              int     `json:"links"`
+	Swaps              int     `json:"swaps"`
+	Replacements       int     `json:"replacements"`
+	Splits             int     `json:"splits"`
+	Rebuilds           int     `json:"rebuilds"`
+	FallbackRecomputes int     `json:"fallback_recomputes"`
+	Weight             float64 `json:"weight"`
+	ForestSize         int     `json:"forest_size"`
+	Components         int     `json:"components"`
+}
+
+// PatchResponse is the PATCH /v1/graphs/{name}/edges response: the
+// graph's post-patch registration info (new fingerprint, new m) plus
+// what the batch did to the maintained forest.
+type PatchResponse struct {
+	Graph GraphInfo  `json:"graph"`
+	Delta PatchDelta `json:"delta"`
+	// Invalidated is the number of cached results dropped because they
+	// were computed against the pre-patch graph.
+	Invalidated int `json:"invalidated_cache_entries"`
+}
+
+func toEdges(in []PatchEdge) []pmsf.Edge {
+	out := make([]pmsf.Edge, len(in))
+	for i, e := range in {
+		out[i] = pmsf.Edge{U: e.U, V: e.V, W: e.W}
+	}
+	return out
+}
+
+// handlePatchEdges mutates a registered graph in place: the batch is
+// applied through the graph's dynamic-MSF handle (created on first
+// patch), and the registry entry is swapped to the new snapshot —
+// graph, fingerprint, and maintained forest — so subsequent MSF queries
+// are answered from the maintained forest without an engine run.
+// In-flight queries keep the pre-patch snapshot via their leases; stale
+// cache entries are invalidated by fingerprint.
+func (s *Server) handlePatchEdges(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	name := r.PathValue("name")
+	var req PatchRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"patch body exceeds %d bytes", s.cfg.MaxUploadBytes)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decoding patch: %v", err)
+		return
+	}
+
+	guard, err := s.registry.BeginPatch(name, int64(len(req.Add))*24)
+	switch {
+	case errors.Is(err, ErrGraphNotFound):
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	case errors.Is(err, ErrPatchInFlight):
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	case errors.Is(err, ErrRegistryFull):
+		writeError(w, http.StatusInsufficientStorage, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	// Everything below runs without any registry lock held: the guard
+	// serializes patches per graph, and reads keep the old snapshot.
+	dyn := guard.Dyn
+	if dyn == nil {
+		seeded, seedErr := pmsf.NewDynamic(guard.Graph, pmsf.MSTBC, pmsf.Options{Workers: s.cfg.MaxJobWorkers})
+		if seedErr != nil {
+			guard.Abort()
+			writeError(w, http.StatusInternalServerError, "seeding dynamic forest: %v", seedErr)
+			return
+		}
+		dyn = seeded
+	}
+	delta, applyErr := dyn.ApplyEdges(toEdges(req.Add), toEdges(req.Del))
+	if err := applyErr; err != nil {
+		if errors.Is(err, pmsf.ErrDynamicBroken) {
+			// Internal invariant failure: drop the poisoned handle so the
+			// next patch reseeds from the published (still valid) snapshot.
+			guard.Reset()
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		guard.Abort()
+		// Validation failures are atomic: the handle (and the graph) are
+		// unchanged, so the guard can simply be released.
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	newG, forest := dyn.SnapshotWithForest()
+	info := guard.Commit(newG, forest, dyn)
+	dropped := s.cache.DropGraph(guard.OldFingerprint)
+
+	s.metrics.Patches.Add(1)
+	s.metrics.PatchedEdges.Add(int64(delta.Added + delta.Deleted))
+	writeJSON(w, http.StatusOK, PatchResponse{
+		Graph: info,
+		Delta: PatchDelta{
+			Added:              delta.Added,
+			Deleted:            delta.Deleted,
+			Links:              delta.Links,
+			Swaps:              delta.Swaps,
+			Replacements:       delta.Replacements,
+			Splits:             delta.Splits,
+			Rebuilds:           delta.Rebuilds,
+			FallbackRecomputes: delta.FallbackRecomputes,
+			Weight:             delta.Weight,
+			ForestSize:         delta.ForestSize,
+			Components:         delta.Components,
+		},
+		Invalidated: dropped,
+	})
 }
 
 // QueryRequest is the POST /v1/queries body.

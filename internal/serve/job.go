@@ -59,8 +59,8 @@ type Result struct {
 // Event is one job lifecycle or progress notification, streamed over
 // SSE and recorded on the job for replay.
 type Event struct {
-	Type  string `json:"type"`            // queued, running, progress, done, failed, canceled
-	JobID string `json:"job_id"`
+	Type  string   `json:"type"` // queued, running, progress, done, failed, canceled
+	JobID string   `json:"job_id"`
 	State JobState `json:"state"`
 	// Spans is the number of trace spans completed so far: a cheap,
 	// monotonic live progress signal while an engine runs.
@@ -129,12 +129,12 @@ func (j *Job) Outcome() (*Result, error) {
 
 // Status is the JSON shape of GET /v1/jobs/{id}.
 type Status struct {
-	ID     string   `json:"id"`
+	ID     string    `json:"id"`
 	Kind   QueryKind `json:"kind"`
-	State  JobState `json:"state"`
-	Graph  string   `json:"graph"`
-	Error  string   `json:"error,omitempty"`
-	Result *Result  `json:"result,omitempty"`
+	State  JobState  `json:"state"`
+	Graph  string    `json:"graph"`
+	Error  string    `json:"error,omitempty"`
+	Result *Result   `json:"result,omitempty"`
 	// Spans is the live span count (progress while running).
 	Spans int `json:"spans"`
 }

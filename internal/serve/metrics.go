@@ -33,10 +33,16 @@ type Metrics struct {
 	JobsQueued      *obs.Gauge   // jobs admitted but not yet running
 
 	// Forest cache.
-	CacheHits      *obs.Counter
-	CacheMisses    *obs.Counter
-	CacheEvictions *obs.Counter
-	CacheEntries   *obs.Gauge
+	CacheHits          *obs.Counter
+	CacheMisses        *obs.Counter
+	CacheEvictions     *obs.Counter
+	CacheInvalidations *obs.Counter // entries dropped because their graph was patched
+	CacheEntries       *obs.Gauge
+
+	// Dynamic updates.
+	Patches      *obs.Counter // PATCH batches committed
+	PatchedEdges *obs.Counter // edge mutations applied through PATCH
+	DynAnswers   *obs.Counter // MSF queries answered from a maintained dynamic forest
 
 	// Admission control.
 	RateLimited *obs.Counter // requests refused with 429 by the token bucket
@@ -50,23 +56,27 @@ type Metrics struct {
 func NewMetrics() *Metrics {
 	reg := obs.NewRegistry()
 	return &Metrics{
-		reg:             reg,
-		JobsSubmitted:   reg.Counter("serve_jobs_submitted"),
-		JobsCompleted:   reg.Counter("serve_jobs_completed"),
-		JobsFailed:      reg.Counter("serve_jobs_failed"),
-		JobsCanceled:    reg.Counter("serve_jobs_canceled"),
-		JobsRejected:    reg.Counter("serve_jobs_rejected"),
-		EngineRuns:      reg.Counter("serve_engine_runs"),
-		JobsRunning:     reg.Gauge("serve_jobs_running"),
-		JobsRunningPeak: reg.Gauge("serve_jobs_running_peak"),
-		JobsQueued:      reg.Gauge("serve_jobs_queued"),
-		CacheHits:       reg.Counter("serve_cache_hits"),
-		CacheMisses:     reg.Counter("serve_cache_misses"),
-		CacheEvictions:  reg.Counter("serve_cache_evictions"),
-		CacheEntries:    reg.Gauge("serve_cache_entries"),
-		RateLimited:     reg.Counter("serve_rate_limited"),
-		GraphCount:      reg.Gauge("serve_graphs"),
-		GraphBytes:      reg.Gauge("serve_graph_bytes"),
+		reg:                reg,
+		JobsSubmitted:      reg.Counter("serve_jobs_submitted"),
+		JobsCompleted:      reg.Counter("serve_jobs_completed"),
+		JobsFailed:         reg.Counter("serve_jobs_failed"),
+		JobsCanceled:       reg.Counter("serve_jobs_canceled"),
+		JobsRejected:       reg.Counter("serve_jobs_rejected"),
+		EngineRuns:         reg.Counter("serve_engine_runs"),
+		JobsRunning:        reg.Gauge("serve_jobs_running"),
+		JobsRunningPeak:    reg.Gauge("serve_jobs_running_peak"),
+		JobsQueued:         reg.Gauge("serve_jobs_queued"),
+		CacheHits:          reg.Counter("serve_cache_hits"),
+		CacheMisses:        reg.Counter("serve_cache_misses"),
+		CacheEvictions:     reg.Counter("serve_cache_evictions"),
+		CacheInvalidations: reg.Counter("serve_cache_invalidations"),
+		CacheEntries:       reg.Gauge("serve_cache_entries"),
+		Patches:            reg.Counter("serve_patches"),
+		PatchedEdges:       reg.Counter("serve_patched_edges"),
+		DynAnswers:         reg.Counter("serve_dyn_answers"),
+		RateLimited:        reg.Counter("serve_rate_limited"),
+		GraphCount:         reg.Gauge("serve_graphs"),
+		GraphBytes:         reg.Gauge("serve_graph_bytes"),
 	}
 }
 

@@ -14,6 +14,7 @@ var (
 	ErrGraphExists   = errors.New("serve: graph name already registered")
 	ErrGraphNotFound = errors.New("serve: graph not found")
 	ErrRegistryFull  = errors.New("serve: graph registry byte cap exceeded")
+	ErrPatchInFlight = errors.New("serve: another edge patch is in flight for this graph")
 )
 
 // GraphInfo is the public description of one registered graph.
@@ -37,6 +38,15 @@ type graphEntry struct {
 	bytes   int64
 	refs    int
 	removed bool // unregistered; free when refs hits zero
+
+	// Dynamic-MSF state, nil until the first PATCH. dyn maintains the
+	// forest across patches; forest is the snapshot published together
+	// with g (queries answer from it without an engine run). Entries are
+	// swapped atomically under r.mu — leases taken before a patch keep
+	// the previous immutable graph+forest pair.
+	dyn      *pmsf.Dynamic
+	forest   *pmsf.Forest
+	patching bool // one PATCH at a time per graph
 }
 
 // Registry is the named, refcounted, size-capped in-memory graph store.
@@ -91,6 +101,11 @@ type Lease struct {
 	Graph       *pmsf.Graph
 	Name        string
 	Fingerprint uint64
+	// Forest is the dynamically maintained MSF of Graph, or nil if the
+	// graph has never been patched. When set, MSF queries are answered
+	// from it directly (no engine run); it is immutable and always
+	// consistent with Graph (same snapshot).
+	Forest *pmsf.Forest
 
 	r        *Registry
 	entry    *graphEntry
@@ -107,7 +122,7 @@ func (r *Registry) Acquire(name string) (*Lease, error) {
 		return nil, fmt.Errorf("%w: %q", ErrGraphNotFound, name)
 	}
 	e.refs++
-	return &Lease{Graph: e.g, Name: name, Fingerprint: e.fp, r: r, entry: e}, nil
+	return &Lease{Graph: e.g, Name: name, Fingerprint: e.fp, Forest: e.forest, r: r, entry: e}, nil
 }
 
 // Release returns the lease. If the graph was removed while leased, the
@@ -195,6 +210,108 @@ func (r *Registry) infoLocked(e *graphEntry) GraphInfo {
 		Bytes:       e.bytes,
 		Refs:        e.refs,
 		Removing:    e.removed,
+	}
+}
+
+// PatchGuard is an exclusive in-flight edge patch on one graph. Exactly
+// one of Commit or Abort must be called. While held, the entry is
+// pinned (like a lease) and other patches on the same graph are refused;
+// reads and queries proceed against the pre-patch snapshot.
+type PatchGuard struct {
+	// Graph and Dyn are the pre-patch state: the current snapshot and
+	// the maintained handle (nil before the first patch — the caller
+	// seeds one and passes it to Commit).
+	Graph *pmsf.Graph
+	Dyn   *pmsf.Dynamic
+	// OldFingerprint identifies the cache entries the commit makes stale.
+	OldFingerprint uint64
+
+	r     *Registry
+	entry *graphEntry
+	done  bool
+}
+
+// BeginPatch opens an exclusive patch on the named graph. addedBytes is
+// the worst-case byte growth of the batch (deletions only shrink), used
+// to refuse patches that would blow the registry cap before any state
+// is touched.
+func (r *Registry) BeginPatch(name string, addedBytes int64) (*PatchGuard, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.graphs[name]
+	if !ok || e.removed {
+		return nil, fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+	}
+	if e.patching {
+		return nil, fmt.Errorf("%w: %q", ErrPatchInFlight, name)
+	}
+	if r.capBytes > 0 && r.bytes+addedBytes > r.capBytes {
+		return nil, fmt.Errorf("%w: %d + %d > %d (delete a graph first)",
+			ErrRegistryFull, r.bytes, addedBytes, r.capBytes)
+	}
+	e.patching = true
+	e.refs++
+	return &PatchGuard{Graph: e.g, Dyn: e.dyn, OldFingerprint: e.fp, r: r, entry: e}, nil
+}
+
+// Commit publishes the patched snapshot: the new graph, its maintained
+// forest, and the dynamic handle that produced them. Leases taken
+// before the commit keep the previous graph; new leases see the new
+// snapshot and its forest. Returns the updated info.
+func (g *PatchGuard) Commit(newG *pmsf.Graph, f *pmsf.Forest, dyn *pmsf.Dynamic) GraphInfo {
+	g.r.mu.Lock()
+	defer g.r.mu.Unlock()
+	if g.done {
+		return g.r.infoLocked(g.entry)
+	}
+	g.done = true
+	e := g.entry
+	newBytes := GraphBytes(newG)
+	g.r.bytes += newBytes - e.bytes
+	e.bytes = newBytes
+	e.g = newG
+	e.fp = pmsf.Fingerprint(newG)
+	e.forest = f
+	e.dyn = dyn
+	info := g.r.infoLocked(e)
+	g.releaseLocked()
+	g.r.publish()
+	return info
+}
+
+// Abort releases the patch without publishing anything.
+func (g *PatchGuard) Abort() {
+	g.r.mu.Lock()
+	defer g.r.mu.Unlock()
+	if g.done {
+		return
+	}
+	g.done = true
+	g.releaseLocked()
+}
+
+// Reset releases the patch AND discards the entry's dynamic handle (the
+// published graph and forest are untouched). Used when the handle
+// reported itself broken: the next patch reseeds a fresh one from the
+// published snapshot instead of hitting the poisoned handle forever.
+func (g *PatchGuard) Reset() {
+	g.r.mu.Lock()
+	defer g.r.mu.Unlock()
+	if g.done {
+		return
+	}
+	g.done = true
+	g.entry.dyn = nil
+	g.releaseLocked()
+}
+
+// releaseLocked clears the patch latch and the pin. Caller holds r.mu.
+func (g *PatchGuard) releaseLocked() {
+	e := g.entry
+	e.patching = false
+	e.refs--
+	if e.removed && e.refs == 0 {
+		g.r.freeLocked(e)
 	}
 }
 

@@ -143,10 +143,11 @@ func queryHash(kind QueryKind, algo pmsf.Algorithm, opt pmsf.Options) uint64 {
 	return h
 }
 
-// execute runs one job's engine on a queue worker and fills the cache.
-// It is the only place the service invokes an engine.
+// execute runs one job on a queue worker and fills the cache. MSF
+// queries against a patched graph are answered from its dynamically
+// maintained forest (no engine run); everything else is the only place
+// the service invokes an engine.
 func (s *Server) execute(j *Job) (*Result, error) {
-	s.metrics.EngineRuns.Add(1)
 	g := j.lease.Graph
 	res := &Result{
 		Kind:  j.Kind,
@@ -157,6 +158,20 @@ func (s *Server) execute(j *Job) (*Result, error) {
 	start := time.Now()
 	switch j.Kind {
 	case KindMSF:
+		if f := j.lease.Forest; f != nil {
+			// The lease carries the maintained MSF of exactly this
+			// snapshot: the engine result is already known.
+			s.metrics.DynAnswers.Add(1)
+			res.Algorithm = "dynamic"
+			res.Weight = f.Weight
+			res.ForestSize = f.Size()
+			res.Components = f.Components
+			if j.IncludeEdges {
+				res.EdgeIDs = f.EdgeIDs
+			}
+			break
+		}
+		s.metrics.EngineRuns.Add(1)
 		opt := j.Opt
 		opt.Trace = j.trace
 		f, _, err := pmsf.MinimumSpanningForest(g, j.Algo, opt)
@@ -171,6 +186,7 @@ func (s *Server) execute(j *Job) (*Result, error) {
 			res.EdgeIDs = f.EdgeIDs
 		}
 	case KindComponents:
+		s.metrics.EngineRuns.Add(1)
 		labels, n, err := pmsf.ConnectedComponents(g, j.Opt.Workers)
 		if err != nil {
 			return nil, err

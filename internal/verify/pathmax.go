@@ -29,7 +29,12 @@ func CycleProperty(g *graph.EdgeList, f *graph.Forest) error {
 	for _, id := range f.EdgeIDs {
 		inForest[id] = true
 	}
-	idx := pathmax.Build(g, f.EdgeIDs)
+	idx, err := pathmax.Build(g, f.EdgeIDs)
+	if err != nil {
+		// Forest passed structural validation but pathmax disagrees:
+		// surface it as a verification failure, not a crash.
+		return fmt.Errorf("verify: building path-max index: %w", err)
+	}
 	// Queries are independent; run them in parallel and keep the first
 	// (lowest-id) failure for a deterministic error message.
 	p := par.DefaultWorkers()

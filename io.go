@@ -92,3 +92,36 @@ func WriteForest(w io.Writer, f *Forest) error {
 func ReadForest(r io.Reader) (*Forest, error) {
 	return graph.ReadForest(r)
 }
+
+// MutationBatch is one batch of edge mutations against a graph: edges
+// to add and edges to delete (identified by value, either orientation,
+// exact weight). It is the unit Dynamic.ApplyEdges consumes.
+type MutationBatch = graph.MutationBatch
+
+// EdgeStream is a reproducible dynamic-MSF workload: an ordered
+// sequence of mutation batches against a graph with N vertices.
+// graphgen -mutations emits one; msf-verify -replay and msf-bench's
+// dynamic mode consume one.
+type EdgeStream = graph.EdgeStream
+
+// WriteEdgeStream writes s in the library's text stream format
+// ("pmsf-stream 1" header, "n", then "batch"/"+"/"-" lines).
+func WriteEdgeStream(w io.Writer, s *EdgeStream) error {
+	return graph.WriteEdgeStream(w, s)
+}
+
+// ReadEdgeStream parses the text stream format written by
+// WriteEdgeStream, rejecting structural errors with line numbers.
+func ReadEdgeStream(r io.Reader) (*EdgeStream, error) {
+	return graph.ReadEdgeStream(r)
+}
+
+// ReadEdgeStreamFile reads a mutation stream from a file.
+func ReadEdgeStreamFile(path string) (*EdgeStream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadEdgeStream(f)
+}

@@ -25,6 +25,7 @@ import (
 
 	"pmsf/internal/boruvka"
 	"pmsf/internal/cashook"
+	"pmsf/internal/dynmsf"
 	"pmsf/internal/filter"
 	"pmsf/internal/graph"
 	"pmsf/internal/mstbc"
@@ -344,4 +345,46 @@ func Verify(g *Graph, f *Forest) error {
 // directly (not copied).
 func NewGraph(n int, edges []Edge) *Graph {
 	return &Graph{N: n, Edges: edges}
+}
+
+// Dynamic is a handle that maintains the minimum spanning forest of a
+// graph across batches of edge insertions and deletions (see
+// internal/dynmsf for the algorithm: cycle-rule insertions over an
+// incrementally rebuilt path-maximum index, replacement-edge search for
+// deletions, and a scoped-recompute fallback when a batch invalidates
+// too much of a tree). All methods are safe for concurrent use; queries
+// block while a batch is being applied.
+type Dynamic = dynmsf.Handle
+
+// DynamicDelta reports what one ApplyEdges batch changed.
+type DynamicDelta = dynmsf.Delta
+
+// DynamicOptions tunes the dynamic maintainer's fallback thresholds and
+// tracing. The zero value is the default.
+type DynamicOptions = dynmsf.Options
+
+// DynamicStats is a point-in-time view of a Dynamic handle.
+type DynamicStats = dynmsf.Stats
+
+// ErrDynamicBroken is wrapped by every error a Dynamic handle returns
+// after an internal invariant failure has made it unusable; callers
+// should discard the handle and rebuild with NewDynamic.
+var ErrDynamicBroken = dynmsf.ErrBroken
+
+// NewDynamic computes the MSF of g with the chosen algorithm and
+// returns a handle that keeps it minimal under batched edge updates:
+//
+//	dyn, err := pmsf.NewDynamic(g, pmsf.BorEL, pmsf.Options{})
+//	delta, err := dyn.ApplyEdges(adds, dels)
+//	forest := dyn.Forest()
+//
+// The handle copies g's edge list; the caller's graph is not mutated.
+// opt configures the initial computation; opt.Trace (if any) also
+// receives one span per subsequent ApplyEdges batch.
+func NewDynamic(g *Graph, algo Algorithm, opt Options) (*Dynamic, error) {
+	f, _, err := MinimumSpanningForest(g, algo, opt)
+	if err != nil {
+		return nil, err
+	}
+	return dynmsf.New(g, f, dynmsf.Options{Trace: opt.Trace})
 }
